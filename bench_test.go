@@ -1,0 +1,275 @@
+package slpdas
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (Section VI), plus the ablations called out in
+// DESIGN.md. Each bench both measures the runtime of the regeneration and
+// reports the reproduced quantities through b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the experiment driver:
+//
+//	BenchmarkFigure5a          capture ratio vs size, SD=3  (Figure 5a)
+//	BenchmarkFigure5b          capture ratio vs size, SD=5  (Figure 5b)
+//	BenchmarkTableI            parameter table               (Table I)
+//	BenchmarkMessageOverhead   "negligible overhead" claim   (§VI / abstract)
+//	BenchmarkAblation*         design-choice sweeps          (DESIGN.md A1–A4)
+//
+// Repetition counts are sized for minutes-scale runs; cmd/slpsim runs the
+// same experiments with arbitrary repeats for tighter confidence
+// intervals.
+
+import (
+	"fmt"
+	"testing"
+
+	"slpdas/internal/core"
+	"slpdas/internal/experiment"
+	"slpdas/internal/schedule"
+	"slpdas/internal/topo"
+	"slpdas/internal/verify"
+	"slpdas/internal/wire"
+)
+
+const benchSeed = 40_000
+
+func reportFigure5(b *testing.B, fig *experiment.Figure5) {
+	b.Helper()
+	for _, p := range fig.Points {
+		b.ReportMetric(p.Protectionless.Percent(), fmt.Sprintf("prot%%@%d", p.GridSize))
+		b.ReportMetric(p.SLP.Percent(), fmt.Sprintf("slp%%@%d", p.GridSize))
+	}
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a): capture ratio for network
+// sizes 11, 15, 21 with search distance 3.
+func BenchmarkFigure5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFigure5(experiment.Figure5Spec{
+			GridSizes:      []int{11, 15, 21},
+			SearchDistance: 3,
+			Repeats:        25,
+			BaseSeed:       benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure5(b, fig)
+	}
+}
+
+// BenchmarkFigure5b regenerates Figure 5(b): search distance 5.
+func BenchmarkFigure5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFigure5(experiment.Figure5Spec{
+			GridSizes:      []int{11, 15, 21},
+			SearchDistance: 5,
+			Repeats:        25,
+			BaseSeed:       benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure5(b, fig)
+	}
+}
+
+// BenchmarkTableI regenerates Table I from the live configuration.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := TableI(); len(tbl) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkMessageOverhead regenerates the message-overhead comparison
+// behind the abstract's "negligible message overhead" claim.
+func BenchmarkMessageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o, err := experiment.RunOverhead(11, 3, 10, benchSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra := o.SLP.ControlMessages.Mean - o.Protectionless.ControlMessages.Mean
+		b.ReportMetric(extra, "extra-ctrl-msgs")
+		b.ReportMetric(100*extra/o.Protectionless.TotalMessages.Mean, "extra-ctrl-%")
+	}
+}
+
+// BenchmarkAblationSearchDistance sweeps SD (DESIGN.md A1): the paper
+// only evaluates 3 and 5; this measures the full range on the 11×11 grid.
+func BenchmarkAblationSearchDistance(b *testing.B) {
+	for _, sd := range []int{1, 2, 3, 4, 5, 6, 7} {
+		sd := sd
+		b.Run(fmt.Sprintf("sd=%d", sd), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.SearchDistanceSweep(11, []int{sd}, 20, benchSeed, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(points[0].CaptureRatio.Percent(), "capture%")
+				b.ReportMetric(points[0].ChangedNodes.Mean, "changed-nodes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAttacker sweeps attacker strength (DESIGN.md A2) with
+// the decision procedure over a fixed settled schedule: stronger
+// (R, M)-attackers explore more of the slot landscape.
+func BenchmarkAblationAttacker(b *testing.B) {
+	params := []verify.Params{
+		{R: 1, H: 0, M: 1},
+		{R: 2, H: 0, M: 1},
+		{R: 2, H: 0, M: 2},
+		{R: 3, H: 1, M: 2},
+	}
+	for i := range params {
+		p := params[i]
+		b.Run(fmt.Sprintf("R%d_H%d_M%d", p.R, p.H, p.M), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.AttackerSweep(11, core.DefaultSLP(3), benchSeed, []verify.Params{p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				captured := 0.0
+				if points[0].Captured {
+					captured = 1
+				}
+				b.ReportMetric(captured, "captured")
+				b.ReportMetric(float64(points[0].StatesExplored), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLossModel compares channel models (DESIGN.md A3): the
+// paper evaluates the ideal channel; this quantifies robustness under the
+// casino-lab substitute and Bernoulli loss.
+func BenchmarkAblationLossModel(b *testing.B) {
+	for _, loss := range []string{"ideal", "bernoulli:0.05", "rssi"} {
+		loss := loss
+		b.Run(loss, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum, err := Run(SimConfig{
+					GridSize:  11,
+					Protocol:  SLPAware,
+					Repeats:   15,
+					Seed:      benchSeed,
+					LossModel: loss,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(sum.CaptureRatio*100, "capture%")
+				b.ReportMetric(sum.ScheduleValidRatio*100, "valid%")
+			}
+		})
+	}
+}
+
+// BenchmarkVerifySchedule measures the decision procedure itself
+// (DESIGN.md A4) on greedy reference schedules of the paper's sizes.
+func BenchmarkVerifySchedule(b *testing.B) {
+	for _, side := range []int{11, 15, 21} {
+		side := side
+		b.Run(fmt.Sprintf("grid=%d", side), func(b *testing.B) {
+			g, err := topo.DefaultGrid(side)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink, source := topo.GridCentre(side), topo.GridTopLeft()
+			a, err := schedule.GreedyDAS(g, sink, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delta := 2 * side
+			p := verify.Params{R: 2, H: 0, M: 1, Start: sink}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := verify.VerifySchedule(g, a, p, verify.AnyHeardD, delta, source, verify.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleRun measures one full simulated lifecycle (setup + data
+// phase + attacker) per grid size — the unit cost behind every experiment.
+func BenchmarkSingleRun(b *testing.B) {
+	for _, side := range []int{11, 15, 21} {
+		side := side
+		b.Run(fmt.Sprintf("grid=%d", side), func(b *testing.B) {
+			g, err := topo.DefaultGrid(side)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink, source := topo.GridCentre(side), topo.GridTopLeft()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net, err := core.NewNetwork(g, sink, source, core.DefaultSLP(3), uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := net.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhase1Setup measures the distributed slot-assignment protocol
+// alone.
+func BenchmarkPhase1Setup(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, source := topo.GridCentre(11), topo.GridTopLeft()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := core.NewNetwork(g, sink, source, core.Default(), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.RunSetup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyDAS measures the centralized reference generator.
+func BenchmarkGreedyDAS(b *testing.B) {
+	g, err := topo.DefaultGrid(21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.GreedyDAS(g, topo.GridCentre(21), 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures the frame codec.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	msg := &wire.Dissem{
+		From:   7,
+		Normal: true,
+		Parent: 3,
+		Infos: []wire.NodeInfo{
+			{Node: 1, Hop: 2, Slot: 90, Version: 4},
+			{Node: 2, Hop: 3, Slot: 88, Version: 2},
+			{Node: 3, Hop: 1, Slot: 95, Version: 9},
+			{Node: 4, Hop: 2, Slot: 89, Version: 1},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame := wire.Marshal(msg)
+		if _, err := wire.Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

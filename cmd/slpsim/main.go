@@ -1,0 +1,245 @@
+// Command slpsim drives the paper's evaluation (Section VI): it
+// regenerates Figure 5(a), Figure 5(b), Table I and the message-overhead
+// comparison, and runs custom simulation batches.
+//
+// Usage:
+//
+//	slpsim fig5a    [-repeats N] [-seed S] [-sizes 11,15,21] [-csv out.csv]
+//	slpsim fig5b    [-repeats N] [-seed S] [-sizes 11,15,21] [-csv out.csv]
+//	slpsim table1
+//	slpsim overhead [-size N] [-sd D] [-repeats N] [-seed S]
+//	slpsim run      [-size N] [-protocol protectionless|slp] [-sd D]
+//	                [-repeats N] [-seed S] [-loss ideal|bernoulli:p|rssi]
+//	                [-attacker R,H,M] [-collisions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"slpdas"
+	"slpdas/internal/core"
+	"slpdas/internal/experiment"
+	"slpdas/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "fig5a":
+		err = runFigure5(3, args[1:])
+	case "fig5b":
+		err = runFigure5(5, args[1:])
+	case "table1":
+		fmt.Println("Table I: parameters for protectionless and SLP DAS")
+		fmt.Println()
+		fmt.Print(slpdas.TableI())
+	case "overhead":
+		err = runOverhead(args[1:])
+	case "run":
+		err = runCustom(args[1:])
+	case "sweep":
+		err = runSweep(args[1:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "slpsim: unknown command %q\n", args[0])
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpsim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `slpsim — SLP-aware DAS evaluation driver (ICDCS 2017 reproduction)
+
+commands:
+  fig5a     capture ratio vs network size, search distance 3 (Figure 5a)
+  fig5b     capture ratio vs network size, search distance 5 (Figure 5b)
+  table1    print the protocol parameter table (Table I)
+  overhead  message overhead of SLP DAS vs protectionless DAS
+  run       custom simulation batch
+  sweep     ablations: -what sd | attacker | loss
+
+run 'slpsim <command> -h' for the command's flags.`)
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
+func runFigure5(searchDistance int, args []string) error {
+	fs := flag.NewFlagSet(fmt.Sprintf("fig5-sd%d", searchDistance), flag.ContinueOnError)
+	repeats := fs.Int("repeats", 100, "simulation repetitions per cell")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	sizesArg := fs.String("sizes", "11,15,21", "comma-separated grid sizes")
+	csvPath := fs.String("csv", "", "also write the series as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5(%s): capture ratio, search distance %d, %d repeats/cell\n\n",
+		map[int]string{3: "a", 5: "b"}[searchDistance], searchDistance, *repeats)
+	tbl, fig, err := slpdas.Figure5(searchDistance, *repeats, *seed, sizes...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fig.Table().WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	for _, p := range fig.Points {
+		fmt.Printf("\nsize %d detail: prot valid=%s, slp valid=%s, changed=%.1f nodes, search ok=%s\n",
+			p.GridSize, p.ProtectionlessAgg.ScheduleValid, p.SLPAgg.ScheduleValid,
+			p.SLPAgg.ChangedNodes.Mean, p.SLPAgg.SearchSucceeded)
+	}
+	return nil
+}
+
+func runOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
+	size := fs.Int("size", 11, "grid size")
+	sd := fs.Int("sd", 3, "search distance")
+	repeats := fs.Int("repeats", 50, "simulation repetitions per protocol")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Message overhead, %d×%d grid, SD=%d, %d repeats/protocol\n\n", *size, *size, *sd, *repeats)
+	tbl, _, err := slpdas.Overhead(*size, *sd, *repeats, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl)
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	what := fs.String("what", "sd", "ablation to run: sd, attacker or loss")
+	size := fs.Int("size", 11, "grid size")
+	sd := fs.Int("sd", 3, "search distance (attacker/loss sweeps)")
+	repeats := fs.Int("repeats", 30, "simulation repetitions per cell")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *what {
+	case "sd":
+		fmt.Printf("search-distance ablation, %d×%d grid, %d repeats/cell\n\n", *size, *size, *repeats)
+		points, err := experiment.SearchDistanceSweep(*size, nil, *repeats, *seed, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.SearchDistanceTable(points))
+	case "attacker":
+		fmt.Printf("attacker-strength ablation (exhaustive worst case), %d×%d grid, seed %d\n\n", *size, *size, *seed)
+		points, err := experiment.AttackerSweep(*size, core.DefaultSLP(*sd), *seed, []verify.Params{
+			{R: 1, H: 0, M: 1},
+			{R: 2, H: 0, M: 1},
+			{R: 2, H: 0, M: 2},
+			{R: 3, H: 0, M: 2},
+			{R: 3, H: 1, M: 2},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.AttackerTable(points))
+	case "loss":
+		fmt.Printf("channel-model ablation, %d×%d grid, SD=%d, %d repeats/cell\n\n", *size, *size, *sd, *repeats)
+		points, err := experiment.LossModelSweep(*size, *sd, *repeats, *seed, 0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.LossModelTable(points))
+	default:
+		return fmt.Errorf("unknown -what %q", *what)
+	}
+	return nil
+}
+
+func runCustom(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	size := fs.Int("size", 11, "grid size")
+	protocol := fs.String("protocol", "protectionless", "protectionless or slp")
+	sd := fs.Int("sd", 3, "search distance (slp only)")
+	repeats := fs.Int("repeats", 20, "simulation repetitions")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	loss := fs.String("loss", "ideal", "channel model: ideal, bernoulli:<p>, rssi")
+	atk := fs.String("attacker", "1,0,1", "attacker parameters R,H,M")
+	collisions := fs.Bool("collisions", false, "enable receiver-side collisions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r, h, m int
+	if _, err := fmt.Sscanf(*atk, "%d,%d,%d", &r, &h, &m); err != nil {
+		return fmt.Errorf("bad -attacker %q (want R,H,M)", *atk)
+	}
+	cfg := slpdas.SimConfig{
+		GridSize:       *size,
+		Protocol:       slpdas.Protocol(map[string]slpdas.Protocol{"protectionless": slpdas.Protectionless, "slp": slpdas.SLPAware}[*protocol]),
+		SearchDistance: *sd,
+		Repeats:        *repeats,
+		Seed:           *seed,
+		AttackerR:      r,
+		AttackerH:      h,
+		AttackerM:      m,
+		LossModel:      *loss,
+		Collisions:     *collisions,
+	}
+	if cfg.Protocol == "" {
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	sum, err := slpdas.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %d×%d grid, %d runs (seed %d, loss %s, attacker %d,%d,%d)\n",
+		sum.Protocol, *size, *size, sum.Runs, *seed, *loss, r, h, m)
+	fmt.Printf("  capture ratio     : %.1f%% ±%.1f (%d/%d)\n",
+		sum.CaptureRatio*100, sum.CaptureRatioCI95*100, sum.Captures, sum.Runs)
+	if sum.Captures > 0 {
+		fmt.Printf("  mean capture time : %.1f periods\n", sum.MeanCapturePeriods)
+	}
+	fmt.Printf("  valid schedules   : %.0f%%\n", sum.ScheduleValidRatio*100)
+	fmt.Printf("  control traffic   : %.1f msgs (%.0f bytes) per run\n", sum.ControlMessages, sum.ControlBytes)
+	if cfg.Protocol == slpdas.SLPAware {
+		fmt.Printf("  slots changed     : %.1f nodes per run\n", sum.ChangedNodes)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Attacker sweep — the generality of the (R, H, M, s0, D) model. The
+// paper evaluates the (1,0,1)-attacker; this example measures how capture
+// ratio responds to attacker strength, both in full simulation (live
+// attacker, many seeds) and with the exhaustive decision procedure over a
+// fixed schedule (worst-case nondeterministic attacker).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slpdas"
+	"slpdas/internal/core"
+	"slpdas/internal/metrics"
+	"slpdas/internal/topo"
+	"slpdas/internal/verify"
+)
+
+func main() {
+	const (
+		size    = 9
+		repeats = 30
+	)
+
+	fmt.Printf("simulated capture ratio on a %d×%d grid, SLP DAS, %d seeds per row\n\n", size, size, repeats)
+	tbl := metrics.NewTable("attacker (R,H,M)", "capture ratio")
+	for _, p := range [][3]int{{1, 0, 1}, {1, 1, 1}, {2, 0, 1}, {1, 0, 2}, {2, 1, 2}} {
+		sum, err := slpdas.Run(slpdas.SimConfig{
+			GridSize:       size,
+			Protocol:       slpdas.SLPAware,
+			SearchDistance: 3,
+			Repeats:        repeats,
+			Seed:           100,
+			AttackerR:      p[0],
+			AttackerH:      p[1],
+			AttackerM:      p[2],
+		})
+		if err != nil {
+			log.Fatalf("attacker %v: %v", p, err)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("(%d,%d,%d)", p[0], p[1], p[2]),
+			fmt.Sprintf("%.1f%% (%d/%d)", sum.CaptureRatio*100, sum.Captures, sum.Runs),
+		)
+	}
+	fmt.Print(tbl)
+
+	// Worst case: the exhaustive nondeterministic attacker of Algorithm 1
+	// over one settled SLP schedule.
+	g, err := topo.DefaultGrid(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink, source := topo.GridCentre(size), topo.GridTopLeft()
+	net, err := core.NewNetwork(g, sink, source, core.DefaultSLP(3), 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assignment, err := net.RunSetup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := int(net.SafetyPeriods())
+
+	fmt.Printf("\nexhaustive verification of one SLP schedule (δ=%d periods):\n\n", delta)
+	vt := metrics.NewTable("attacker (R,H,M)", "verdict", "states explored")
+	for _, p := range []verify.Params{
+		{R: 1, H: 0, M: 1, Start: sink},
+		{R: 2, H: 0, M: 1, Start: sink},
+		{R: 2, H: 0, M: 2, Start: sink},
+		{R: 3, H: 0, M: 2, Start: sink},
+		{R: 4, H: 0, M: 3, Start: sink},
+	} {
+		res, err := verify.VerifySchedule(g, assignment, p, verify.AnyHeardD, delta, source, verify.Options{})
+		if err != nil {
+			log.Fatalf("verify %+v: %v", p, err)
+		}
+		verdict := "δ-SLP-aware"
+		if !res.SLPAware {
+			verdict = fmt.Sprintf("captured in %d periods", res.CapturePeriod)
+		}
+		vt.AddRow(
+			fmt.Sprintf("(%d,%d,%d)", p.R, p.H, p.M),
+			verdict,
+			fmt.Sprintf("%d", res.StatesExplored),
+		)
+	}
+	fmt.Print(vt)
+}

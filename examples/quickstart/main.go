@@ -1,0 +1,45 @@
+// Quickstart: simulate both DAS protocols on the paper's 11×11 grid and
+// compare capture ratios — the headline experiment in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slpdas"
+)
+
+func main() {
+	const repeats = 50
+
+	protectionless, err := slpdas.Run(slpdas.SimConfig{
+		GridSize: 11,
+		Protocol: slpdas.Protectionless,
+		Repeats:  repeats,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatalf("protectionless runs: %v", err)
+	}
+
+	slp, err := slpdas.Run(slpdas.SimConfig{
+		GridSize:       11,
+		Protocol:       slpdas.SLPAware,
+		SearchDistance: 3,
+		Repeats:        repeats,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatalf("slp runs: %v", err)
+	}
+
+	fmt.Println("Source location privacy on an 11×11 sensor grid")
+	fmt.Printf("  protectionless DAS : captured %2d/%d runs (%.0f%%)\n",
+		protectionless.Captures, protectionless.Runs, protectionless.CaptureRatio*100)
+	fmt.Printf("  SLP-aware DAS      : captured %2d/%d runs (%.0f%%), %.1f slots re-assigned per run\n",
+		slp.Captures, slp.Runs, slp.CaptureRatio*100, slp.ChangedNodes)
+	if protectionless.CaptureRatio > 0 {
+		fmt.Printf("  capture ratio reduced by %.0f%%\n",
+			(1-slp.CaptureRatio/protectionless.CaptureRatio)*100)
+	}
+}

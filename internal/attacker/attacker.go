@@ -1,0 +1,233 @@
+// Package attacker implements the paper's novel (R, H, M, s0, D)-attacker
+// model (Section III-B, Figure 1): a distributed eavesdropper that hears
+// every transmission within radio range of its current location, collects
+// up to R messages, remembers the last H visited locations, makes at most
+// M moves per TDMA period, starts at s0 and chooses its next location with
+// a decision function D.
+//
+// The attacker perceives only traffic context — sender identity, position
+// and timing — never payload contents (the paper assumes encryption).
+package attacker
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+	"slpdas/internal/xrand"
+)
+
+// Params are the (R, H, M, s0) attacker parameters.
+type Params struct {
+	R     int         // messages heard before a move decision
+	H     int         // history length (0 = memoryless)
+	M     int         // moves per period
+	Start topo.NodeID // s0
+}
+
+// DefaultParams returns the (1, 0, 1, s0)-attacker the paper (and most SLP
+// work) evaluates against.
+func DefaultParams(start topo.NodeID) Params {
+	return Params{R: 1, H: 0, M: 1, Start: start}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.R < 1 {
+		return fmt.Errorf("attacker: R must be >= 1, got %d", p.R)
+	}
+	if p.H < 0 {
+		return fmt.Errorf("attacker: H must be >= 0, got %d", p.H)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("attacker: M must be >= 1, got %d", p.M)
+	}
+	return nil
+}
+
+// Heard is one overheard transmission, in arrival order.
+type Heard struct {
+	From topo.NodeID
+	At   time.Duration
+}
+
+// Decision is the D function: given the messages captured this round, the
+// recent-location history (most recent last) and the current location,
+// return the next location. Returning the current location means "stay".
+type Decision func(heard []Heard, history []topo.NodeID, cur topo.NodeID, rng *rand.Rand) topo.NodeID
+
+// FirstHeard moves to the origin of the first message heard — the D of the
+// (1, 0, 1, s0, D)-attacker in the paper: "when the attacker hears the
+// first message coming from a location j, it will move to j".
+func FirstHeard(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+	if len(heard) == 0 {
+		return cur
+	}
+	return heard[0].From
+}
+
+// RandomHeard moves to a uniformly random heard origin — a weaker,
+// non-gradient-following eavesdropper used in the attacker-strength study.
+func RandomHeard(heard []Heard, _ []topo.NodeID, cur topo.NodeID, rng *rand.Rand) topo.NodeID {
+	if len(heard) == 0 {
+		return cur
+	}
+	return heard[rng.IntN(len(heard))].From
+}
+
+// UnvisitedFirst moves to the first heard origin not in the history,
+// falling back to the first heard origin. With H > 0 this attacker avoids
+// ping-ponging between two loud nodes.
+func UnvisitedFirst(heard []Heard, history []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+	if len(heard) == 0 {
+		return cur
+	}
+	for _, h := range heard {
+		visited := false
+		for _, v := range history {
+			if v == h.From {
+				visited = true
+				break
+			}
+		}
+		if !visited && h.From != cur {
+			return h.From
+		}
+	}
+	return heard[0].From
+}
+
+// Attacker is the live eavesdropper process driven by radio observations.
+// It implements radio.Observer.
+type Attacker struct {
+	g      *topo.Graph
+	params Params
+	decide Decision
+	source topo.NodeID
+	rng    *rand.Rand
+
+	active   bool
+	cur      topo.NodeID
+	msgs     []Heard
+	moves    int
+	history  []topo.NodeID // ring, most recent last, len <= H
+	path     []topo.NodeID // every location visited, including start
+	captured bool
+	capAt    time.Duration
+
+	// OnCapture, when non-nil, fires once at the capture instant.
+	OnCapture func(at time.Duration)
+	// OnMove, when non-nil, fires after every relocation.
+	OnMove func(to topo.NodeID, at time.Duration)
+}
+
+// New creates an attacker hunting source on graph g. It is inert until
+// Activate; register it on the medium with radio.Medium.AddObserver.
+func New(g *topo.Graph, params Params, decide Decision, source topo.NodeID, seed uint64) (*Attacker, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Valid(params.Start) {
+		return nil, fmt.Errorf("attacker: invalid start node %d", params.Start)
+	}
+	if !g.Valid(source) {
+		return nil, fmt.Errorf("attacker: invalid source node %d", source)
+	}
+	if decide == nil {
+		decide = FirstHeard
+	}
+	return &Attacker{
+		g:      g,
+		params: params,
+		decide: decide,
+		source: source,
+		rng:    xrand.NewNamed(seed, "attacker"),
+		cur:    params.Start,
+		path:   []topo.NodeID{params.Start},
+	}, nil
+}
+
+// Activate begins the hunt: the attacker starts processing observations.
+// Call at source-activation time (the start of the data phase).
+func (a *Attacker) Activate() { a.active = true }
+
+// Deactivate stops processing observations (the hunt is over).
+func (a *Attacker) Deactivate() { a.active = false }
+
+// NextPeriod implements the NextP action of Figure 1: at each period
+// boundary the message buffer and the move budget reset. The caller (who
+// knows the period length, as the paper's attacker does) schedules this.
+func (a *Attacker) NextPeriod() {
+	a.msgs = a.msgs[:0]
+	a.moves = 0
+}
+
+// Location implements radio.Observer.
+func (a *Attacker) Location() topo.Point { return a.g.Position(a.cur) }
+
+// Overhear implements radio.Observer: the ARcv action of Figure 1 followed
+// by the Decide action once R messages have been captured.
+func (a *Attacker) Overhear(obs radio.Observation) {
+	if !a.active || a.captured {
+		return
+	}
+	if len(a.msgs) < a.params.R {
+		a.msgs = append(a.msgs, Heard{From: obs.From, At: obs.At})
+	}
+	if len(a.msgs) >= a.params.R && a.moves < a.params.M {
+		a.decideMove(obs.At)
+	}
+}
+
+// decideMove is the Decide action of Figure 1.
+func (a *Attacker) decideMove(now time.Duration) {
+	next := a.decide(a.msgs, a.History(), a.cur, a.rng)
+	if a.params.H > 0 {
+		a.history = append(a.history, a.cur)
+		if len(a.history) > a.params.H {
+			a.history = a.history[1:]
+		}
+	}
+	a.moves++
+	a.msgs = a.msgs[:0]
+	if next == a.cur {
+		return // staying consumed the move
+	}
+	// Physical constraint: the attacker walks, so it only relocates to
+	// positions it actually heard, which are within one radio range.
+	if !a.g.HasEdge(a.cur, next) {
+		return
+	}
+	a.cur = next
+	a.path = append(a.path, next)
+	if a.OnMove != nil {
+		a.OnMove(next, now)
+	}
+	if a.cur == a.source {
+		a.captured = true
+		a.capAt = now
+		if a.OnCapture != nil {
+			a.OnCapture(now)
+		}
+	}
+}
+
+// Current returns the attacker's current node.
+func (a *Attacker) Current() topo.NodeID { return a.cur }
+
+// Captured reports whether the source has been reached, and when.
+func (a *Attacker) Captured() (bool, time.Duration) { return a.captured, a.capAt }
+
+// Path returns every node visited, in order, starting at s0.
+func (a *Attacker) Path() []topo.NodeID {
+	return append([]topo.NodeID(nil), a.path...)
+}
+
+// History returns the last H visited locations, most recent last.
+func (a *Attacker) History() []topo.NodeID {
+	return append([]topo.NodeID(nil), a.history...)
+}
+
+var _ radio.Observer = (*Attacker)(nil)

@@ -1,0 +1,275 @@
+package attacker
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+)
+
+// lineWorld builds a 0-1-2-3-4 line with a medium and an attacker at node 4
+// hunting node 0.
+func lineWorld(t *testing.T, params Params, d Decision) (*des.Simulator, *topo.Graph, *radio.Medium, *Attacker) {
+	t.Helper()
+	g, err := topo.Line(5, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := radio.New(sim, g, 1)
+	params.Start = 4
+	a, err := New(g, params, d, 0, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddObserver(a)
+	return sim, g, m, a
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, bad := range []Params{{R: 0, M: 1}, {R: 1, M: 0}, {R: 1, M: 1, H: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("params %+v validated", bad)
+		}
+	}
+	if err := DefaultParams(0).Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestNewRejectsInvalidNodes(t *testing.T) {
+	g, err := topo.Line(3, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	if _, err := New(g, Params{R: 1, M: 1, Start: 99}, nil, 0, 1); err == nil {
+		t.Error("invalid start accepted")
+	}
+	if _, err := New(g, Params{R: 1, M: 1, Start: 0}, nil, 99, 1); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestInactiveAttackerIgnoresTraffic(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, FirstHeard)
+	sim.ScheduleAfter(0, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 4 {
+		t.Errorf("inactive attacker moved to %d", a.Current())
+	}
+}
+
+func TestFollowsFirstHeardTransmission(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, FirstHeard)
+	a.Activate()
+	// In one period node 3 transmits first (it is audible from 4).
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 3 {
+		t.Errorf("attacker at %d, want 3", a.Current())
+	}
+}
+
+func TestOneMovePerPeriod(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, FirstHeard)
+	a.Activate()
+	// Two audible transmissions in the same period: only the first counts.
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	sim.ScheduleAfter(2*time.Second, func() { m.Broadcast(2, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 3 {
+		t.Errorf("attacker at %d, want 3 (M=1 exhausted)", a.Current())
+	}
+	// After a period reset it may move again.
+	a.NextPeriod()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(2, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 2 {
+		t.Errorf("attacker at %d after period reset, want 2", a.Current())
+	}
+}
+
+func TestChaseEndsInCapture(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, FirstHeard)
+	a.Activate()
+	var capturedAt time.Duration
+	a.OnCapture = func(at time.Duration) { capturedAt = at }
+	// Period p: node (4-p) transmits; the attacker walks down the line.
+	for p := 0; p < 4; p++ {
+		p := p
+		at := time.Duration(p+1) * 5 * time.Second
+		if _, err := sim.Schedule(at, func() {
+			a.NextPeriod()
+			m.Broadcast(topo.NodeID(3-p), []byte{1})
+		}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	captured, at := a.Captured()
+	if !captured {
+		t.Fatal("attacker did not capture")
+	}
+	if at != capturedAt || capturedAt == 0 {
+		t.Errorf("capture times inconsistent: %v vs %v", at, capturedAt)
+	}
+	wantPath := []topo.NodeID{4, 3, 2, 1, 0}
+	path := a.Path()
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", path, wantPath)
+	}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", path, wantPath)
+		}
+	}
+}
+
+func TestRBoundsMessageBuffer(t *testing.T) {
+	// R=2: the attacker decides only after hearing two messages.
+	sim, _, m, a := lineWorld(t, Params{R: 2, M: 1}, FirstHeard)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 4 {
+		t.Errorf("moved after one message with R=2")
+	}
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 3 {
+		t.Errorf("attacker at %d, want 3 after R messages", a.Current())
+	}
+}
+
+func TestPeriodResetDiscardsPartialBuffer(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 2, M: 1}, FirstHeard)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	sim.ScheduleAfter(2*time.Second, func() { a.NextPeriod() }) // discard
+	sim.ScheduleAfter(3*time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 4 {
+		t.Errorf("attacker moved on a stale buffer: at %d", a.Current())
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1, H: 2}, FirstHeard)
+	a.Activate()
+	for p := 0; p < 3; p++ {
+		p := p
+		at := time.Duration(p+1) * time.Second
+		if _, err := sim.Schedule(at, func() {
+			a.NextPeriod()
+			m.Broadcast(topo.NodeID(3-p), []byte{1})
+		}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Visited 4 -> 3 -> 2 -> 1; history keeps the last H=2 departures.
+	h := a.History()
+	if len(h) != 2 || h[0] != 3 || h[1] != 2 {
+		t.Errorf("history = %v, want [3 2]", h)
+	}
+}
+
+func TestMMovesWithinOnePeriod(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 2}, FirstHeard)
+	a.Activate()
+	// Same period: 3 transmits, then (after the attacker moved to 3) 2.
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	sim.ScheduleAfter(2*time.Second, func() { m.Broadcast(2, []byte{1}) })
+	sim.ScheduleAfter(3*time.Second, func() { m.Broadcast(1, []byte{1}) }) // M exhausted
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 2 {
+		t.Errorf("attacker at %d, want 2 (two moves, then budget spent)", a.Current())
+	}
+}
+
+func TestCannotTeleportToUnheardNeighbour(t *testing.T) {
+	// Node 1 is two hops from the attacker at 4 — not reachable in one
+	// move. Even if a hostile Decision returns it, the attacker must not
+	// teleport.
+	teleport := func([]Heard, []topo.NodeID, topo.NodeID, *rand.Rand) topo.NodeID { return 1 }
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, teleport)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 4 {
+		t.Errorf("attacker teleported to %d", a.Current())
+	}
+}
+
+func TestStayingConsumesMove(t *testing.T) {
+	stay := func(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID { return cur }
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, stay)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	sim.ScheduleAfter(2*time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 4 {
+		t.Errorf("attacker at %d, want 4 (stayed)", a.Current())
+	}
+	if len(a.Path()) != 1 {
+		t.Errorf("path = %v, want only the start", a.Path())
+	}
+}
+
+func TestRandomHeardStaysWithinHeardSet(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, RandomHeard)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Current() != 3 {
+		t.Errorf("attacker at %d, want 3 (only heard origin)", a.Current())
+	}
+}
+
+func TestUnvisitedFirstAvoidsHistory(t *testing.T) {
+	history := []topo.NodeID{3}
+	heard := []Heard{{From: 3}, {From: 2}}
+	if got := UnvisitedFirst(heard, history, 4, nil); got != 2 {
+		t.Errorf("UnvisitedFirst = %d, want 2", got)
+	}
+	// All visited: fall back to first heard.
+	if got := UnvisitedFirst(heard, []topo.NodeID{3, 2}, 4, nil); got != 3 {
+		t.Errorf("UnvisitedFirst fallback = %d, want 3", got)
+	}
+	// Empty heard: stay.
+	if got := UnvisitedFirst(nil, nil, 4, nil); got != 4 {
+		t.Errorf("UnvisitedFirst empty = %d, want 4", got)
+	}
+	if got := FirstHeard(nil, nil, 4, nil); got != 4 {
+		t.Errorf("FirstHeard empty = %d, want 4", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's contribution: the protectionless
+// data aggregation scheduling protocol (Figure 2) and the 3-phase SLP-aware
+// DAS protocol (Figures 2–4) as guarded-command programs running over the
+// simulated radio, plus the full network lifecycle of the evaluation
+// (Section VI): neighbour discovery, dissemination, search, slot
+// refinement, and TDMA data periods hunted by a (R,H,M,s0,D)-attacker.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"slpdas/internal/attacker"
+	"slpdas/internal/mac"
+	"slpdas/internal/radio"
+)
+
+// Config carries every protocol parameter of Table I plus the simulation
+// knobs the paper fixes in prose (§VI).
+type Config struct {
+	// SourcePeriod (Psrc) is the rate at which the source generates
+	// messages: 5.5 s.
+	SourcePeriod time.Duration
+	// SlotPeriod (Pslot) is the duration of a single TDMA slot: 0.05 s.
+	SlotPeriod time.Duration
+	// DisseminationPeriod (Pdiss) is the interval between dissemination
+	// broadcasts during setup: 0.5 s.
+	DisseminationPeriod time.Duration
+	// Slots is the number of slots per TDMA period (Δ): 100.
+	Slots int
+	// MinimumSetupPeriods (MSP) is the number of TDMA periods before the
+	// source activates: 80.
+	MinimumSetupPeriods int
+	// NeighbourDiscoveryPeriods (NDP) is the number of dissemination-sized
+	// periods of HELLO beaconing: 4.
+	NeighbourDiscoveryPeriods int
+	// DisseminationTimeout (DT) is the number of dissemination messages a
+	// node sends per state change: 5.
+	DisseminationTimeout int
+	// SearchDistance (SD) is how many hops SEARCH messages travel from the
+	// sink: 3 or 5 in the paper. Only used when SLP is true.
+	SearchDistance int
+	// ChangeLength (CL) is the length of the decoy change path; 0 means
+	// the Table I default Δss − SD, computed from the topology.
+	ChangeLength int
+	// SLP selects the SLP-aware protocol (Phases 2 and 3) over
+	// protectionless DAS.
+	SLP bool
+	// SafetyFactor (Cs) scales the protectionless capture time into the
+	// safety period: 1.5.
+	SafetyFactor float64
+	// BootJitter is the per-node random boot delay, standing in for
+	// TOSSIM's randomised boot times.
+	BootJitter time.Duration
+	// SearchStartDelay is when (after dissemination starts) the sink
+	// launches Phase 2; 0 derives it from the network diameter.
+	SearchStartDelay time.Duration
+	// SearchTTLBudget bounds total SEARCH forwards (the d=0 wander of
+	// Figure 3 can otherwise circulate); 0 derives 4·SD+8.
+	SearchTTLBudget int
+	// Attacker carries (R, H, M); the start location s0 is set by the
+	// network to the sink, as in the paper.
+	Attacker attacker.Params
+	// Decision is the attacker's D function; nil means FirstHeard, the
+	// paper's (1,0,1,s0,D) attacker.
+	Decision attacker.Decision
+	// Loss is the channel model; nil means radio.Ideal{}, the paper's
+	// reliable-network evaluation setting.
+	Loss radio.LossModel
+	// Collisions enables receiver-side collision corruption.
+	Collisions bool
+	// EventBudget bounds simulator events per run (0 = default 50M).
+	EventBudget uint64
+}
+
+// Default returns the Table I parameters with SD = 3.
+func Default() Config {
+	return Config{
+		SourcePeriod:              5500 * time.Millisecond,
+		SlotPeriod:                50 * time.Millisecond,
+		DisseminationPeriod:       500 * time.Millisecond,
+		Slots:                     100,
+		MinimumSetupPeriods:       80,
+		NeighbourDiscoveryPeriods: 4,
+		DisseminationTimeout:      5,
+		SearchDistance:            3,
+		ChangeLength:              0, // Δss − SD
+		SLP:                       false,
+		SafetyFactor:              1.5,
+		BootJitter:                50 * time.Millisecond,
+		Attacker:                  attacker.Params{R: 1, H: 0, M: 1},
+	}
+}
+
+// DefaultSLP returns Table I parameters with the SLP protocol enabled and
+// the given search distance.
+func DefaultSLP(searchDistance int) Config {
+	c := Default()
+	c.SLP = true
+	c.SearchDistance = searchDistance
+	return c
+}
+
+// Timing returns the TDMA superframe implied by the config.
+func (c Config) Timing() mac.Timing {
+	return mac.Timing{Slots: c.Slots, SlotDuration: c.SlotPeriod}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.SourcePeriod <= 0 || c.SlotPeriod <= 0 || c.DisseminationPeriod <= 0 {
+		return fmt.Errorf("core: periods must be positive (src=%v slot=%v diss=%v)", c.SourcePeriod, c.SlotPeriod, c.DisseminationPeriod)
+	}
+	if c.Slots < 2 {
+		return fmt.Errorf("core: need at least 2 slots, got %d", c.Slots)
+	}
+	if c.MinimumSetupPeriods < 1 {
+		return fmt.Errorf("core: MSP must be >= 1, got %d", c.MinimumSetupPeriods)
+	}
+	if c.NeighbourDiscoveryPeriods < 1 {
+		return fmt.Errorf("core: NDP must be >= 1, got %d", c.NeighbourDiscoveryPeriods)
+	}
+	if c.DisseminationTimeout < 1 {
+		return fmt.Errorf("core: DT must be >= 1, got %d", c.DisseminationTimeout)
+	}
+	if c.SLP && c.SearchDistance < 1 {
+		return fmt.Errorf("core: SLP needs SearchDistance >= 1, got %d", c.SearchDistance)
+	}
+	if c.SafetyFactor <= 0 {
+		return fmt.Errorf("core: safety factor must be positive, got %v", c.SafetyFactor)
+	}
+	if c.ChangeLength < 0 {
+		return fmt.Errorf("core: change length must be >= 0, got %d", c.ChangeLength)
+	}
+	if err := (attacker.Params{R: c.Attacker.R, H: c.Attacker.H, M: c.Attacker.M, Start: 0}).Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"slpdas/internal/attacker"
+	"slpdas/internal/des"
+	"slpdas/internal/gcn"
+	"slpdas/internal/mac"
+	"slpdas/internal/radio"
+	"slpdas/internal/schedule"
+	"slpdas/internal/topo"
+	"slpdas/internal/wire"
+	"slpdas/internal/xrand"
+)
+
+// MsgStats counts frames and bytes sent for one message type.
+type MsgStats struct {
+	Count uint64
+	Bytes uint64
+}
+
+// Network assembles one simulated run: topology, radio, GCN engine, one
+// protocol node per WSN node, and the attacker.
+type Network struct {
+	cfg    Config
+	g      *topo.Graph
+	sink   topo.NodeID
+	source topo.NodeID
+	seed   uint64
+
+	sim    *des.Simulator
+	medium *radio.Medium
+	engine *gcn.Engine
+	nodes  []*node
+	atk    *attacker.Attacker
+
+	timing    mac.Timing
+	deltaSS   int
+	dataStart time.Duration
+	deadline  time.Duration
+	delta     float64 // safety period in TDMA periods
+
+	msgStats     map[wire.Type]*MsgStats
+	decodeErrors uint64
+	changedNodes int
+	searchSent   bool
+
+	sourceDeliveries  int
+	lastDeliveredSeq  uint32
+	deliveryLatencies []int
+
+	failAt map[topo.NodeID]time.Duration
+}
+
+// NewNetwork validates and wires up a run. The attacker starts at the sink
+// (as in the paper) regardless of cfg.Attacker.Start.
+func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Valid(sink) || !g.Valid(source) {
+		return nil, fmt.Errorf("core: invalid sink %d or source %d", sink, source)
+	}
+	if sink == source {
+		return nil, fmt.Errorf("core: sink and source must differ")
+	}
+	deltaSS := g.HopDistance(sink, source)
+	if deltaSS < 0 {
+		return nil, fmt.Errorf("core: source unreachable from sink")
+	}
+
+	budget := cfg.EventBudget
+	if budget == 0 {
+		budget = 50_000_000
+	}
+	sim := des.New(des.WithEventBudget(budget))
+	loss := cfg.Loss
+	if loss == nil {
+		loss = radio.Ideal{}
+	}
+	medium := radio.New(sim, g, seed,
+		radio.WithLossModel(loss),
+		radio.WithCollisions(cfg.Collisions),
+	)
+
+	net := &Network{
+		cfg:      cfg,
+		g:        g,
+		sink:     sink,
+		source:   source,
+		seed:     seed,
+		sim:      sim,
+		medium:   medium,
+		engine:   gcn.NewEngine(sim, 0),
+		timing:   cfg.Timing(),
+		deltaSS:  deltaSS,
+		msgStats: make(map[wire.Type]*MsgStats),
+		failAt:   make(map[topo.NodeID]time.Duration),
+	}
+
+	// Safety period (§VI-B): C = period × (Δss + 1); δ = Cs · C.
+	net.delta = cfg.SafetyFactor * float64(deltaSS+1)
+	net.dataStart = time.Duration(cfg.MinimumSetupPeriods) * net.timing.PeriodDuration()
+	net.deadline = net.dataStart + time.Duration(net.delta*float64(net.timing.PeriodDuration()))
+
+	net.nodes = make([]*node, g.Len())
+	for id := topo.NodeID(0); int(id) < g.Len(); id++ {
+		net.nodes[id] = newNode(id, net)
+	}
+
+	params := cfg.Attacker
+	params.Start = sink
+	atk, err := attacker.New(g, params, cfg.Decision, source, seed)
+	if err != nil {
+		return nil, err
+	}
+	net.atk = atk
+	return net, nil
+}
+
+// FailNode schedules node n to crash at the given absolute time (failure
+// injection). Must be called before Run.
+func (n *Network) FailNode(id topo.NodeID, at time.Duration) {
+	n.failAt[id] = at
+}
+
+// Graph returns the topology.
+func (n *Network) Graph() *topo.Graph { return n.g }
+
+// Attacker exposes the eavesdropper (for examples that render the chase).
+func (n *Network) Attacker() *attacker.Attacker { return n.atk }
+
+// DataStart returns the source-activation time.
+func (n *Network) DataStart() time.Duration { return n.dataStart }
+
+// SafetyPeriods returns δ expressed in TDMA periods.
+func (n *Network) SafetyPeriods() float64 { return n.delta }
+
+// DeltaSS returns the sink–source hop distance.
+func (n *Network) DeltaSS() int { return n.deltaSS }
+
+// rankKey orders sibling competitors under a parent: a per-run pseudo
+// random permutation every node agrees on (see node.chooseSlot).
+func (n *Network) rankKey(parent, competitor topo.NodeID) uint64 {
+	return xrand.Mix(n.seed, 0x72616e6b, uint64(parent), uint64(competitor))
+}
+
+// orderKey is the per-run total order replacing raw node IDs in
+// collision-resolution tie-breaks (see node.collisionLoser).
+func (n *Network) orderKey(id topo.NodeID) uint64 {
+	return xrand.Mix(n.seed, 0x6f726465, uint64(id))
+}
+
+// parentKey is the per-run, per-child order used to break ties among
+// minimum-hop potential parents (see node.chooseSlot).
+func (n *Network) parentKey(child, parent topo.NodeID) uint64 {
+	return xrand.Mix(n.seed, 0x70617265, uint64(child), uint64(parent))
+}
+
+// broadcast marshals and transmits a protocol message, accounting stats.
+func (n *Network) broadcast(from topo.NodeID, msg wire.Message) {
+	frame := wire.Marshal(msg)
+	st := n.msgStats[msg.Kind()]
+	if st == nil {
+		st = &MsgStats{}
+		n.msgStats[msg.Kind()] = st
+	}
+	st.Count++
+	st.Bytes += uint64(len(frame))
+	if msg.Kind() == wire.TypeSearch {
+		n.searchSent = true
+	}
+	n.medium.Broadcast(from, frame)
+}
+
+func (n *Network) recordSourceDelivery(seq uint32) {
+	n.sourceDeliveries++
+	n.lastDeliveredSeq = seq
+	lat := n.nodes[n.sink].dataPeriod - int(seq)
+	if lat >= 0 {
+		n.deliveryLatencies = append(n.deliveryLatencies, lat)
+	}
+}
+
+// setup schedules boots, discovery, dissemination, search, data phase and
+// the attacker clock.
+func (n *Network) setup() error {
+	cfg := n.cfg
+	dissemStart := time.Duration(cfg.NeighbourDiscoveryPeriods)*cfg.DisseminationPeriod + cfg.BootJitter
+
+	for _, nd := range n.nodes {
+		nd := nd
+		// Radio → GCN delivery.
+		n.medium.SetReceiver(nd.id, func(from topo.NodeID, payload []byte) {
+			msg, err := wire.Unmarshal(payload)
+			if err != nil {
+				n.decodeErrors++
+				return
+			}
+			n.engine.Deliver(nd.prc, from, msg)
+		})
+		// Boot + neighbour discovery: NDP rounds of HELLO.
+		boot := nd.jitterDelay(cfg.BootJitter)
+		for k := 0; k < cfg.NeighbourDiscoveryPeriods; k++ {
+			at := boot + time.Duration(k)*cfg.DisseminationPeriod + nd.jitterDelay(cfg.DisseminationPeriod/2)
+			if _, err := n.sim.Schedule(at, nd.sendHello); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Sink starts Phase 1 after discovery.
+	sinkNode := n.nodes[n.sink]
+	if _, err := n.sim.Schedule(dissemStart, func() {
+		sinkNode.sinkInit()
+		n.engine.Kickstart(sinkNode.prc)
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2 launch (SLP only).
+	if cfg.SLP {
+		searchAt := dissemStart + n.searchStartDelay()
+		if _, err := n.sim.Schedule(searchAt, sinkNode.startSearch); err != nil {
+			return err
+		}
+	}
+
+	// Failure injection.
+	for id, at := range n.failAt {
+		id := id
+		if _, err := n.sim.Schedule(at, func() { n.medium.DisableNode(id) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// searchStartDelay derives when Phase 2 can safely assume Phase 1 settled.
+func (n *Network) searchStartDelay() time.Duration {
+	if n.cfg.SearchStartDelay > 0 {
+		return n.cfg.SearchStartDelay
+	}
+	// The assignment wave travels one hop per dissemination round; give it
+	// the network eccentricity plus the full resend budget, doubled for
+	// collision-resolution churn.
+	maxHop := 0
+	for _, d := range n.g.BFSFrom(n.sink) {
+		if d > maxHop {
+			maxHop = d
+		}
+	}
+	rounds := 2 * (maxHop + n.cfg.DisseminationTimeout + 4)
+	return time.Duration(rounds) * n.cfg.DisseminationPeriod
+}
+
+// startDataPhase arms the TDMA slot tasks, the attacker clock and the
+// capture stop condition.
+func (n *Network) startDataPhase() error {
+	for _, nd := range n.nodes {
+		nd := nd
+		if _, err := mac.StartSlotTask(n.sim, n.timing, n.dataStart,
+			func() int {
+				if nd.slot == noValue {
+					return -1
+				}
+				return int(nd.slot)
+			},
+			nd.fireDataSlot,
+		); err != nil {
+			return err
+		}
+	}
+
+	n.medium.AddObserver(n.atk)
+	if _, err := n.sim.Schedule(n.dataStart, n.atk.Activate); err != nil {
+		return err
+	}
+	n.atk.OnCapture = func(time.Duration) { n.sim.Stop() }
+	// The attacker knows the period length (§VI-C): align NextPeriod.
+	periods := int(math.Ceil(n.delta)) + 2
+	for k := 1; k <= periods; k++ {
+		at := n.dataStart + time.Duration(k)*n.timing.PeriodDuration()
+		if _, err := n.sim.Schedule(at, n.atk.NextPeriod); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSetup executes only the setup phases (discovery, dissemination and —
+// for SLP — search and refinement) and returns the resulting slot
+// assignment. Used to extract schedules for VerifySchedule and benches.
+func (n *Network) RunSetup() (*schedule.Assignment, error) {
+	if err := n.setup(); err != nil {
+		return nil, err
+	}
+	if err := n.sim.RunUntil(n.dataStart); err != nil {
+		return nil, err
+	}
+	if err := n.engine.Err(); err != nil {
+		return nil, err
+	}
+	return n.Assignment(), nil
+}
+
+// NodeState is a diagnostic snapshot of one protocol node's key variables,
+// exposed for debugging tools and tests.
+type NodeState struct {
+	ID      topo.NodeID
+	Hop     int
+	Slot    int
+	Parent  topo.NodeID
+	Normal  bool
+	Changed bool
+	// PotentialParents is Npar, sorted.
+	PotentialParents []topo.NodeID
+	// KnownSlot is this node's view of a neighbour's slot (its Ninfo).
+	KnownSlot map[topo.NodeID]int
+}
+
+// NodeState returns the diagnostic snapshot for node id.
+func (n *Network) NodeState(id topo.NodeID) NodeState {
+	nd := n.nodes[id]
+	st := NodeState{
+		ID:      id,
+		Hop:     int(nd.hop),
+		Slot:    int(nd.slot),
+		Parent:  nd.par,
+		Normal:  nd.normal,
+		Changed: nd.changed,
+	}
+	st.PotentialParents = sortedIDs(nd.npar)
+	st.KnownSlot = make(map[topo.NodeID]int, len(nd.ninfo))
+	for j, in := range nd.ninfo {
+		st.KnownSlot[j] = int(in.slot)
+	}
+	return st
+}
+
+// Assignment snapshots the current slot assignment.
+func (n *Network) Assignment() *schedule.Assignment {
+	a := schedule.New(n.g.Len(), n.sink)
+	for _, nd := range n.nodes {
+		if nd.slot != noValue {
+			a.Set(nd.id, int(nd.slot))
+		}
+	}
+	return a
+}
+
+// Run executes the complete lifecycle and gathers the result.
+func (n *Network) Run() (*Result, error) {
+	if err := n.setup(); err != nil {
+		return nil, err
+	}
+	if err := n.sim.RunUntil(n.dataStart); err != nil {
+		return nil, err
+	}
+	if err := n.engine.Err(); err != nil {
+		return nil, err
+	}
+	if err := n.startDataPhase(); err != nil {
+		return nil, err
+	}
+	// One extra period of margin lets in-flight frames settle; captures
+	// are judged against the deadline, not the simulation horizon.
+	if err := n.sim.RunUntil(n.deadline + n.timing.PeriodDuration()); err != nil {
+		return nil, err
+	}
+	if err := n.engine.Err(); err != nil {
+		return nil, err
+	}
+	return n.collect(), nil
+}
+
+func (n *Network) collect() *Result {
+	res := &Result{
+		Protocol:     protocolName(n.cfg.SLP),
+		Seed:         n.seed,
+		Nodes:        n.g.Len(),
+		DeltaSS:      n.deltaSS,
+		SafetyPeriod: n.delta,
+		DataStart:    n.dataStart,
+		Assignment:   n.Assignment(),
+		Messages:     make(map[wire.Type]MsgStats, len(n.msgStats)),
+		RadioStats:   n.medium.Stats(),
+		DecodeErrors: n.decodeErrors,
+		ChangedNodes: n.changedNodes,
+		SearchSent:   n.searchSent,
+
+		SourceDeliveries: n.sourceDeliveries,
+		AttackerPath:     n.atk.Path(),
+	}
+	for t, s := range n.msgStats {
+		res.Messages[t] = *s
+	}
+	if captured, at := n.atk.Captured(); captured && at <= n.deadline {
+		res.Captured = true
+		res.CaptureAt = at
+		res.CapturePeriods = float64(at-n.dataStart) / float64(n.timing.PeriodDuration())
+	}
+	if now := n.sim.Now(); now > n.dataStart {
+		res.PeriodsRun = float64(now-n.dataStart) / float64(n.timing.PeriodDuration())
+	}
+	for _, lat := range n.deliveryLatencies {
+		res.DeliveryLatencySum += lat
+	}
+	res.DeliveryCount = len(n.deliveryLatencies)
+
+	g, a := n.g, res.Assignment
+	res.WeakViolations = len(schedule.CheckWeakDAS(g, a))
+	res.StrongViolations = len(schedule.CheckStrongDAS(g, a))
+	res.CollisionViolations = len(schedule.CheckNonColliding(g, a))
+	res.RangeViolations = len(schedule.CheckSlotRange(g, a, n.cfg.Slots))
+	return res
+}
+
+func protocolName(slp bool) string {
+	if slp {
+		return "slp-das"
+	}
+	return "protectionless-das"
+}

@@ -1,0 +1,667 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"slpdas/internal/gcn"
+	"slpdas/internal/topo"
+	"slpdas/internal/wire"
+	"slpdas/internal/xrand"
+)
+
+// info is one Ninfo entry: a (hop, slot) pair with a freshness version.
+type info struct {
+	hop     int32
+	slot    int32
+	version uint32
+}
+
+const noValue int32 = wire.NoSlot // ⊥
+
+// node executes the combined DAS / NSearch / SRefine program of
+// Figures 2–4 for one WSN process.
+type node struct {
+	id  topo.NodeID
+	net *Network
+	prc *gcn.Process
+	rng *rand.Rand
+
+	// --- Figure 2 (DAS) state ---
+	myN      []topo.NodeID                        // discovered neighbours, sorted
+	myNSet   map[topo.NodeID]bool                 // membership view of myN
+	npar     map[topo.NodeID]bool                 // potential parents
+	children map[topo.NodeID]bool                 // nodes that chose us as parent
+	others   map[topo.NodeID]map[topo.NodeID]bool // per potential parent: slot competitors
+	ninfo    map[topo.NodeID]info                 // 1- and 2-hop neighbourhood info
+	hop      int32                                // ⊥ = noValue
+	par      topo.NodeID                          // ⊥ = topo.None
+	slot     int32                                // ⊥ = noValue
+	normal   bool                                 // false during the update phase
+	version  uint32                               // own state freshness
+
+	dissem       *gcn.Timer
+	decide       *gcn.Timer // defers the process action one dissem round
+	dissemBudget int
+
+	// --- Figure 3 (NSearch) state ---
+	from      map[topo.NodeID]bool // senders of SEARCH/CHANGE seen
+	startNode bool
+	pr        int32 // change-path length when selected
+
+	// --- Figure 4 / data phase ---
+	changed       bool // slot altered by Phase 3
+	pendingOrigin topo.NodeID
+	pendingSeq    uint32
+	pendingCount  uint16
+	dataPeriod    int
+}
+
+func newNode(id topo.NodeID, net *Network) *node {
+	n := &node{
+		id:            id,
+		net:           net,
+		rng:           xrand.New(net.seed, uint64(id), 0x6f64656e), // per-node stream
+		myNSet:        make(map[topo.NodeID]bool),
+		npar:          make(map[topo.NodeID]bool),
+		children:      make(map[topo.NodeID]bool),
+		others:        make(map[topo.NodeID]map[topo.NodeID]bool),
+		ninfo:         make(map[topo.NodeID]info),
+		hop:           noValue,
+		par:           topo.None,
+		slot:          noValue,
+		normal:        true,
+		from:          make(map[topo.NodeID]bool),
+		pendingOrigin: id,
+	}
+	n.prc = net.engine.NewProcess(id)
+	n.install()
+	return n
+}
+
+func (n *node) isSink() bool { return n.id == n.net.sink }
+
+// install registers the GCN actions in priority order.
+func (n *node) install() {
+	p := n.prc
+
+	// rcv⟨HELLO⟩: neighbour discovery.
+	p.AddReceive("rcvHello", matchType(wire.TypeHello), func(sender topo.NodeID, _ gcn.Message) {
+		n.addNeighbour(sender)
+	})
+
+	// receiveN :: rcv⟨DISSEM, 1, j, N, p⟩ (Figure 2).
+	p.AddReceive("receiveN", matchDissem(true), func(sender topo.NodeID, m gcn.Message) {
+		n.onDissem(sender, m.(*wire.Dissem))
+	})
+
+	// receiveU :: rcv⟨DISSEM, 0, j, N, p⟩ (Figure 2): update from parent.
+	p.AddReceive("receiveU", matchDissem(false), func(sender topo.NodeID, m gcn.Message) {
+		n.onDissem(sender, m.(*wire.Dissem))
+	})
+
+	// receiveS :: rcv⟨SEARCH, k, j, d⟩ (Figure 3).
+	p.AddReceive("receiveS", matchType(wire.TypeSearch), func(sender topo.NodeID, m gcn.Message) {
+		n.onSearch(sender, m.(*wire.Search))
+	})
+
+	// receiveC :: rcv⟨CHANGE, p, j, s, d⟩ (Figure 4).
+	p.AddReceive("receiveC", matchType(wire.TypeChange), func(sender topo.NodeID, m gcn.Message) {
+		n.onChange(sender, m.(*wire.Change))
+	})
+
+	// rcv⟨DATA⟩: data-phase aggregation bookkeeping.
+	p.AddReceive("rcvData", matchType(wire.TypeData), func(sender topo.NodeID, m gcn.Message) {
+		n.onData(sender, m.(*wire.Data))
+	})
+
+	// process :: rcv⟨⟩ (Figure 2): choose parent and slot. TinyOS fires
+	// this after "receiving all messages"; we model that by deferring the
+	// decision one dissemination round after the first potential parent is
+	// heard, so Npar collects every assigned neighbour of the round (this
+	// is also what gives nodes the alternative parents Phase 2 needs).
+	n.decide = p.NewTimer("process", n.chooseSlot)
+
+	// Detection of slot collision then resolve (Figure 2, final lines).
+	p.AddGuard("resolve", func() bool { return n.collisionLoser() != topo.None }, func() {
+		if n.slot > 0 {
+			n.setSlot(n.slot - 1)
+		}
+	})
+
+	// startR (Figure 4): begin the change process once selected.
+	p.AddGuard("startR", func() bool { return n.startNode }, n.startRefinement)
+
+	// dissem :: timeout(dissem) (Figure 2): periodic state broadcast.
+	n.dissem = p.NewTimer("dissem", n.onDissemTimer)
+}
+
+func matchType(t wire.Type) func(gcn.Message) bool {
+	return func(m gcn.Message) bool {
+		msg, ok := m.(wire.Message)
+		return ok && msg.Kind() == t
+	}
+}
+
+func matchDissem(normal bool) func(gcn.Message) bool {
+	return func(m gcn.Message) bool {
+		d, ok := m.(*wire.Dissem)
+		return ok && d.Normal == normal
+	}
+}
+
+// --- neighbour discovery ---
+
+func (n *node) addNeighbour(m topo.NodeID) {
+	if m == n.id || n.myNSet[m] {
+		return
+	}
+	n.myNSet[m] = true
+	i := sort.Search(len(n.myN), func(i int) bool { return n.myN[i] >= m })
+	n.myN = append(n.myN, 0)
+	copy(n.myN[i+1:], n.myN[i:])
+	n.myN[i] = m
+}
+
+func (n *node) sendHello() {
+	n.net.broadcast(n.id, &wire.Hello{From: n.id})
+}
+
+// --- Figure 2: DAS ---
+
+// sinkInit is the init action: the sink seeds the schedule with slot Δ.
+func (n *node) sinkInit() {
+	n.hop = 0
+	n.par = topo.None
+	n.slot = int32(n.net.cfg.Slots) // Δ: never transmits
+	n.version++
+	n.ninfo[n.id] = info{hop: 0, slot: n.slot, version: n.version}
+	n.resetDissemination()
+}
+
+// onDissemTimer implements the dissem action: broadcast state, re-arm.
+func (n *node) onDissemTimer() {
+	if n.dissemBudget > 0 && (n.isSink() || n.slot != noValue) {
+		n.dissemBudget--
+		n.net.broadcast(n.id, n.buildDissem())
+	}
+	if n.dissemBudget > 0 {
+		n.dissem.Set(xrand.JitterAround(n.rng, n.net.cfg.DisseminationPeriod, n.net.cfg.DisseminationPeriod/4))
+	}
+}
+
+// resetDissemination grants a fresh DT send budget after a state change.
+func (n *node) resetDissemination() {
+	n.dissemBudget = n.net.cfg.DisseminationTimeout
+	n.armDissem()
+}
+
+// grantRelayBudget allows a couple of extra sends to relay fresh
+// neighbour state without re-flooding the full DT budget.
+func (n *node) grantRelayBudget() {
+	relay := 2
+	if relay > n.net.cfg.DisseminationTimeout {
+		relay = n.net.cfg.DisseminationTimeout
+	}
+	if n.dissemBudget < relay {
+		n.dissemBudget = relay
+	}
+	n.armDissem()
+}
+
+func (n *node) armDissem() {
+	if !n.dissem.Pending() {
+		n.dissem.Set(xrand.JitterAround(n.rng, n.net.cfg.DisseminationPeriod/2, n.net.cfg.DisseminationPeriod/4))
+	}
+}
+
+// buildDissem snapshots ⟨DISSEM, Normal, i, {Ninfo[j] | j ∈ myN}, par⟩.
+func (n *node) buildDissem() *wire.Dissem {
+	d := &wire.Dissem{From: n.id, Normal: n.normal, Parent: n.par}
+	d.Infos = make([]wire.NodeInfo, 0, len(n.myN)+1)
+	d.Infos = append(d.Infos, wire.NodeInfo{Node: n.id, Hop: n.hop, Slot: n.slot, Version: n.version})
+	for _, m := range n.myN {
+		in, known := n.ninfo[m]
+		if !known {
+			d.Infos = append(d.Infos, wire.NodeInfo{Node: m, Hop: noValue, Slot: noValue})
+			continue
+		}
+		d.Infos = append(d.Infos, wire.NodeInfo{Node: m, Hop: in.hop, Slot: in.slot, Version: in.version})
+	}
+	return d
+}
+
+// onDissem handles both receiveN (Normal=1) and receiveU (Normal=0).
+func (n *node) onDissem(sender topo.NodeID, d *wire.Dissem) {
+	n.addNeighbour(sender)
+
+	// Track children: a node whose dissem names us as parent is a child.
+	if d.Parent == n.id {
+		n.children[sender] = true
+	} else {
+		delete(n.children, sender)
+	}
+
+	// Merge Ninfo entries by freshness version. Fresh state about a
+	// *direct neighbour* is worth relaying: 2-hop collision detection
+	// only works if the middle node re-disseminates what it heard (the
+	// Trickle-style reading of the DT send budget). Entries about more
+	// distant nodes are merged but not relayed — they can never matter to
+	// anyone within our radio range.
+	senderSlot := noValue
+	learnedNeighbour := false
+	for _, in := range d.Infos {
+		if in.Node == n.id {
+			continue // never overwrite own state from the outside
+		}
+		cur, known := n.ninfo[in.Node]
+		if !known || in.Version > cur.version {
+			n.ninfo[in.Node] = info{hop: in.Hop, slot: in.Slot, version: in.Version}
+			if in.Node == sender || n.myNSet[in.Node] {
+				learnedNeighbour = true
+			}
+		}
+		if in.Node == sender {
+			senderSlot = in.Slot
+		}
+	}
+	if learnedNeighbour && (n.isSink() || n.slot != noValue) {
+		n.grantRelayBudget()
+	}
+
+	if !n.isSink() && n.slot == noValue && senderSlot != noValue {
+		// receiveN body: the sender is a potential parent; its slotless
+		// neighbours are our slot competitors under that parent.
+		n.npar[sender] = true
+		comp := n.others[sender]
+		if comp == nil {
+			comp = make(map[topo.NodeID]bool)
+			n.others[sender] = comp
+		}
+		for _, in := range d.Infos {
+			if in.Slot == noValue && in.Node != sender {
+				comp[in.Node] = true
+			}
+		}
+		comp[n.id] = true
+		// Arm the deferred process action (see install).
+		if !n.decide.Pending() {
+			n.decide.Set(xrand.JitterAround(n.rng, n.net.cfg.DisseminationPeriod, n.net.cfg.DisseminationPeriod/2))
+		}
+	}
+
+	// receiveU body: a dissemination from our parent showing our slot no
+	// longer strictly below it forces a slot drop and propagates the
+	// update phase to our own children. The paper applies this only to
+	// Normal=0 messages; we apply it to every parent dissemination because
+	// a parent that decrements several times in quick succession can leap
+	// past a child's slot without the two ever being equal, leaving a DAS
+	// violation the collision rule cannot see.
+	if sender == n.par && n.slot != noValue && senderSlot != noValue && n.slot >= senderSlot {
+		n.normal = false
+		ns := senderSlot - 1
+		if ns < 0 {
+			ns = 0
+		}
+		n.setSlot(ns)
+	}
+}
+
+// chooseSlot is the process action of Figure 2: pick the parent on a
+// shortest path and a slot below it by sibling rank.
+func (n *node) chooseSlot() {
+	if n.isSink() || n.slot != noValue || len(n.npar) == 0 {
+		return
+	}
+	// hop := min{h | (h, s) ∈ Ninfo[k], k ∈ Npar} + 1
+	minHop := int32(-1)
+	for _, k := range sortedIDs(n.npar) {
+		in, ok := n.ninfo[k]
+		if !ok || in.hop == noValue || in.slot == noValue {
+			continue
+		}
+		if minHop < 0 || in.hop < minHop {
+			minHop = in.hop
+		}
+	}
+	if minHop < 0 {
+		// Stale potential parents (e.g. their info got overwritten by ⊥
+		// relays before versioning caught up); wait for fresher dissem.
+		n.npar = make(map[topo.NodeID]bool)
+		return
+	}
+	n.hop = minHop + 1
+	// par := min{k ∈ Npar : Ninfo[k].hop = hop−1}. "min" over raw IDs
+	// makes every node in a grid quadrant chain its parents in the same
+	// compass direction, which skews where slot gradients drain; as with
+	// rank, we take the minimum under a per-run seeded order (the paper's
+	// choice of order is arbitrary, its capture symmetry is not).
+	n.par = topo.None
+	var bestKey uint64
+	for _, k := range sortedIDs(n.npar) {
+		if in, ok := n.ninfo[k]; ok && in.hop == minHop {
+			key := n.net.parentKey(n.id, k)
+			if n.par == topo.None || key < bestKey {
+				n.par, bestKey = k, key
+			}
+		}
+	}
+	// slot := Ninfo[par].slot − rank(i, Others[par]) − 1. The paper leaves
+	// the rank order unspecified; the TinyOS implementation effectively
+	// ranks by (random) message arrival order. We reproduce that
+	// nondeterminism deterministically: competitors are ranked by a
+	// seeded hash, so every run explores a different sibling ordering
+	// while all nodes within one run agree on it.
+	rank := int32(0)
+	myKey := n.net.rankKey(n.par, n.id)
+	for c := range n.others[n.par] {
+		if c != n.id && n.net.rankKey(n.par, c) < myKey {
+			rank++
+		}
+	}
+	n.setSlot(n.ninfo[n.par].slot - rank - 1)
+	// children := slotless neighbours (optimistic, refined by dissems).
+	for _, m := range n.myN {
+		if in, ok := n.ninfo[m]; !ok || in.slot == noValue {
+			n.children[m] = true
+		}
+	}
+}
+
+// setSlot updates the slot, version, own Ninfo entry and dissemination.
+func (n *node) setSlot(s int32) {
+	n.slot = s
+	n.version++
+	n.ninfo[n.id] = info{hop: n.hop, slot: n.slot, version: n.version}
+	n.resetDissemination()
+}
+
+// collisionLoser returns a 2-hop neighbour we collide with and must yield
+// to (Figure 2: the node with the greater hop decrements; ties broken by
+// an arbitrary total order), or topo.None. The paper breaks ties by node
+// ID; any consistent order works, and a fixed ID order imprints a spatial
+// slot bias towards high-ID grid regions that the paper's quadrant-
+// symmetric capture ratios do not exhibit — so we use a per-run seeded
+// order instead (see DESIGN.md, faithfulness notes).
+func (n *node) collisionLoser() topo.NodeID {
+	if n.slot == noValue || n.isSink() {
+		return topo.None
+	}
+	for _, j := range sortedInfoIDs(n.ninfo) {
+		if j == n.id {
+			continue
+		}
+		in := n.ninfo[j]
+		if in.slot != n.slot || in.slot == noValue {
+			continue
+		}
+		if n.hop > in.hop || (n.hop == in.hop && n.net.orderKey(n.id) > n.net.orderKey(j)) {
+			return j
+		}
+	}
+	return topo.None
+}
+
+// --- Figure 3: NSearch ---
+
+// startSearch is the sink's startS action: send SEARCH towards the child
+// with the minimum slot (the attacker's natural first direction — every
+// sink neighbour is a child of the sink).
+func (n *node) startSearch() {
+	c := n.lureTarget()
+	if c == topo.None {
+		c = n.minSlotChild()
+	}
+	if c == topo.None {
+		return
+	}
+	ttl := n.net.cfg.SearchTTLBudget
+	if ttl <= 0 {
+		ttl = 4*n.net.cfg.SearchDistance + 8
+	}
+	n.net.broadcast(n.id, &wire.Search{
+		From:  n.id,
+		ANode: c,
+		Dist:  int32(n.net.cfg.SearchDistance),
+		TTL:   int32(ttl),
+	})
+}
+
+func (n *node) minSlotChild() topo.NodeID {
+	best := topo.None
+	bestSlot := int32(0)
+	for _, c := range sortedIDs(n.children) {
+		in, ok := n.ninfo[c]
+		if !ok || in.slot == noValue {
+			continue
+		}
+		if best == topo.None || in.slot < bestSlot {
+			best, bestSlot = c, in.slot
+		}
+	}
+	return best
+}
+
+// lureTarget predicts the attacker's next hop from this node: the
+// minimum-slot neighbour (the origin of the first message a co-located
+// eavesdropper hears). Figure 3 follows minimum-slot children, which
+// coincides with this at the sink but diverges deeper in the network
+// where the attacker is not constrained to tree edges; aiming the search
+// at the true gradient is what "a suitable location ... where the
+// attacker can be tricked" requires.
+func (n *node) lureTarget() topo.NodeID {
+	best := topo.None
+	bestSlot := int32(0)
+	for _, m := range n.myN {
+		in, ok := n.ninfo[m]
+		if !ok || in.slot == noValue || int(in.slot) >= n.net.cfg.Slots {
+			continue
+		}
+		if best == topo.None || in.slot < bestSlot {
+			best, bestSlot = m, in.slot
+		}
+	}
+	return best
+}
+
+func (n *node) onSearch(sender topo.NodeID, s *wire.Search) {
+	n.from[sender] = true
+	if s.ANode != n.id || n.isSink() {
+		return
+	}
+	if s.TTL <= 0 {
+		return
+	}
+	switch {
+	case s.Dist == 0 && n.hasAltParent(sender):
+		// Suitable redirection point found.
+		n.startNode = true
+		n.pr = n.changeLength()
+	case s.Dist == 0:
+		// Keep wandering for a node with an alternative parent.
+		target := n.chooseFrom(sortedIDs(n.children))
+		if target == topo.None {
+			target = n.chooseFrom(n.eligibleNeighbours(sender))
+		}
+		if target != topo.None {
+			n.net.broadcast(n.id, &wire.Search{From: n.id, ANode: target, Dist: 0, TTL: s.TTL - 1})
+		}
+	default:
+		// d > 0: follow the attacker's predicted gradient outwards.
+		target := n.lureTarget()
+		if target == sender || target == topo.None {
+			target = n.minSlotChild()
+		}
+		if target == topo.None {
+			target = n.chooseFrom(n.eligibleNeighbours(sender))
+		}
+		if target != topo.None {
+			n.net.broadcast(n.id, &wire.Search{From: n.id, ANode: target, Dist: s.Dist - 1, TTL: s.TTL - 1})
+		}
+	}
+}
+
+// hasAltParent reports Npar \ {par, k} ≠ ∅.
+func (n *node) hasAltParent(k topo.NodeID) bool {
+	for p := range n.npar {
+		if p != n.par && p != k {
+			return true
+		}
+	}
+	return false
+}
+
+// changeLength resolves CL: explicit config or Table I's Δss − SD.
+func (n *node) changeLength() int32 {
+	if n.net.cfg.ChangeLength > 0 {
+		return int32(n.net.cfg.ChangeLength)
+	}
+	cl := n.net.deltaSS - n.net.cfg.SearchDistance
+	if cl < 1 {
+		cl = 1
+	}
+	return int32(cl)
+}
+
+// eligibleNeighbours returns myN \ {par} \ from \ {sender}, sorted.
+func (n *node) eligibleNeighbours(sender topo.NodeID) []topo.NodeID {
+	var out []topo.NodeID
+	for _, m := range n.myN {
+		if m == n.par || m == sender || n.from[m] {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// chooseFrom implements choose(): a uniformly random pick.
+func (n *node) chooseFrom(set []topo.NodeID) topo.NodeID {
+	if len(set) == 0 {
+		return topo.None
+	}
+	return set[n.rng.IntN(len(set))]
+}
+
+// --- Figure 4: SRefine ---
+
+// startRefinement is the startR action: pick an alternative potential
+// parent and launch the CHANGE walk with the neighbourhood slot minimum.
+func (n *node) startRefinement() {
+	n.startNode = false
+	var cands []topo.NodeID
+	for _, p := range sortedIDs(n.npar) {
+		if p != n.par && !n.from[p] {
+			cands = append(cands, p)
+		}
+	}
+	aNode := n.chooseFrom(cands)
+	if aNode == topo.None {
+		return
+	}
+	n.net.broadcast(n.id, &wire.Change{From: n.id, ANode: aNode, NSlot: n.minKnownSlot(), Dist: n.pr - 1})
+}
+
+// minKnownSlot returns min over every known slot including our own — the
+// value the next decoy node must undercut. Using the full 2-hop view
+// (rather than Figure 4's 1-hop myN) additionally avoids re-introducing
+// 2-hop collisions.
+func (n *node) minKnownSlot() int32 {
+	min := n.slot
+	for _, j := range sortedInfoIDs(n.ninfo) {
+		in := n.ninfo[j]
+		if in.slot == noValue || int(in.slot) >= n.net.cfg.Slots {
+			continue // sink's Δ and unknowns do not count
+		}
+		if min == noValue || in.slot < min {
+			min = in.slot
+		}
+	}
+	return min
+}
+
+func (n *node) onChange(sender topo.NodeID, c *wire.Change) {
+	n.from[sender] = true
+	if c.ANode != n.id || n.isSink() || n.slot == noValue {
+		return
+	}
+	// Adopt the decoy slot: strictly below everything the previous node
+	// could hear. Guard against the slot space floor.
+	newSlot := c.NSlot - 1
+	if newSlot < 0 {
+		newSlot = 0
+	}
+	// §V prose: "When n changes its slot, it has to inform its children to
+	// update their slots. This is achieved by setting Normal to 0."
+	n.normal = false
+	n.changed = true
+	n.setSlot(newSlot)
+	n.net.changedNodes++
+
+	if c.Dist > 0 {
+		next := n.chooseFrom(n.eligibleNeighbours(sender))
+		if next != topo.None {
+			n.net.broadcast(n.id, &wire.Change{From: n.id, ANode: next, NSlot: n.minKnownSlot(), Dist: c.Dist - 1})
+		}
+	}
+}
+
+// --- data phase ---
+
+// fireDataSlot is the TDMA slot task callback: flood one DATA frame.
+func (n *node) fireDataSlot(period int) {
+	n.dataPeriod = period
+	d := &wire.Data{From: n.id}
+	if n.id == n.net.source {
+		d.Origin = n.id
+		d.Seq = uint32(period)
+		d.Count = n.pendingCount + 1
+	} else {
+		d.Origin = n.pendingOrigin
+		d.Seq = n.pendingSeq
+		d.Count = n.pendingCount + 1
+	}
+	n.net.broadcast(n.id, d)
+	n.pendingOrigin = n.id
+	n.pendingSeq = 0
+	n.pendingCount = 0
+}
+
+func (n *node) onData(_ topo.NodeID, d *wire.Data) {
+	n.pendingCount += d.Count
+	if d.Origin == n.net.source && n.id != n.net.source {
+		if n.pendingOrigin != n.net.source || d.Seq > n.pendingSeq {
+			n.pendingOrigin = n.net.source
+			n.pendingSeq = d.Seq
+		}
+		if n.isSink() {
+			n.net.recordSourceDelivery(d.Seq)
+		}
+	}
+}
+
+// --- helpers ---
+
+func sortedIDs(set map[topo.NodeID]bool) []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedInfoIDs(m map[topo.NodeID]info) []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// jitterDelay spaces a node's boot.
+func (n *node) jitterDelay(max time.Duration) time.Duration {
+	return xrand.Jitter(n.rng, max)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"slpdas/internal/topo"
+)
+
+// TestProtocolOnIrregularTopology: the distributed protocol is not
+// grid-specific — it must converge to a valid weak DAS on random
+// geometric graphs too.
+func TestProtocolOnIrregularTopology(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g, err := topo.RandomGeometric(40, 40, 40, 11, seed)
+		if err != nil {
+			t.Fatalf("RandomGeometric: %v", err)
+		}
+		// Sink near the middle of the ID space, source the farthest node.
+		sink := topo.NodeID(0)
+		dist := g.BFSFrom(sink)
+		source := topo.NodeID(1)
+		for n := range dist {
+			if dist[n] > dist[source] {
+				source = topo.NodeID(n)
+			}
+		}
+		net, err := NewNetwork(g, sink, source, Default(), seed)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !res.ScheduleValid() {
+			t.Errorf("seed %d: invalid schedule on RGG: weak=%d coll=%d range=%d",
+				seed, res.WeakViolations, res.CollisionViolations, res.RangeViolations)
+		}
+		if res.SourceDeliveries == 0 {
+			t.Errorf("seed %d: convergecast broken on RGG", seed)
+		}
+	}
+}
+
+// TestProtocolOnLine: the degenerate 1-D topology still yields a valid
+// DAS, and the single gradient means the attacker walks straight home.
+func TestProtocolOnLine(t *testing.T) {
+	g, err := topo.Line(9, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	net, err := NewNetwork(g, 8, 0, Default(), 4)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.ScheduleValid() {
+		t.Errorf("invalid schedule on line")
+	}
+	if !res.Captured {
+		t.Error("line topology offers no privacy; the attacker should capture")
+	}
+}
+
+// TestProtocolOnRing: two disjoint routes to the sink; the schedule must
+// stay valid and the ring's two gradients give the attacker a coin flip.
+func TestProtocolOnRing(t *testing.T) {
+	g, err := topo.Ring(12, 4.5, 5.0)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	net, err := NewNetwork(g, 0, 6, Default(), 2)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.ScheduleValid() {
+		t.Errorf("invalid schedule on ring: weak=%d coll=%d", res.WeakViolations, res.CollisionViolations)
+	}
+}

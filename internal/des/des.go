@@ -1,0 +1,175 @@
+// Package des is a deterministic discrete-event simulator: the substrate
+// replacing TOSSIM in the paper's evaluation. Events are executed in
+// strictly non-decreasing virtual-time order; events scheduled for the same
+// instant run in FIFO order of scheduling, so a run is a pure function of
+// its inputs.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Common simulator errors.
+var (
+	// ErrPastEvent is returned when an event is scheduled before Now().
+	ErrPastEvent = errors.New("des: event scheduled in the past")
+	// ErrEventBudget is returned when the run exceeds its event budget,
+	// which indicates a runaway protocol (e.g. a dissemination loop).
+	ErrEventBudget = errors.New("des: event budget exhausted")
+)
+
+// Event is a handle to a scheduled callback. Cancelling an already-executed
+// or already-cancelled event is a no-op.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the callback from running. Safe to call multiple times.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event queue. The zero
+// value is not usable; construct with New.
+type Simulator struct {
+	now       time.Duration
+	queue     eventQueue
+	seq       uint64
+	executed  uint64
+	maxEvents uint64
+	stopped   bool
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithEventBudget bounds the total number of executed events; Run returns
+// ErrEventBudget when exceeded. Zero means unlimited.
+func WithEventBudget(n uint64) Option {
+	return func(s *Simulator) { s.maxEvents = n }
+}
+
+// New constructs an empty simulator at virtual time zero.
+func New(opts ...Option) *Simulator {
+	s := &Simulator{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet reaped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. It returns the
+// event handle, or an error if at is before the current time.
+func (s *Simulator) Schedule(at time.Duration, fn func()) (*Event, error) {
+	if at < s.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// ScheduleAfter queues fn to run d after the current time. Negative d is
+// treated as zero.
+func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e, err := s.Schedule(s.now+d, fn)
+	if err != nil {
+		// Unreachable: now+d >= now for d >= 0.
+		panic(err)
+	}
+	return e
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the event
+// budget is exhausted.
+func (s *Simulator) Run() error {
+	return s.RunUntil(-1)
+}
+
+// RunUntil executes events with time at most deadline (deadline < 0 means
+// no limit). Events scheduled exactly at the deadline are executed. On
+// return the clock rests at the last executed event's time, or at the
+// deadline if it was reached with events still pending beyond it.
+func (s *Simulator) RunUntil(deadline time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			s.now = deadline
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		if s.maxEvents > 0 && s.executed >= s.maxEvents {
+			return fmt.Errorf("%w: budget=%d now=%v", ErrEventBudget, s.maxEvents, s.now)
+		}
+		s.executed++
+		next.fn()
+	}
+	if deadline >= 0 && s.now < deadline && len(s.queue) == 0 {
+		// Queue drained before the deadline; advance the clock so callers
+		// observing Now() see the full simulated horizon.
+		s.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package des
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.ScheduleAfter(30*time.Millisecond, func() { order = append(order, 3) })
+	s.ScheduleAfter(10*time.Millisecond, func() { order = append(order, 1) })
+	s.ScheduleAfter(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.ScheduleAfter(time.Second, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	s.ScheduleAfter(time.Second, func() {
+		times = append(times, s.Now())
+		s.ScheduleAfter(time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := New()
+	s.ScheduleAfter(time.Second, func() {
+		if _, err := s.Schedule(500*time.Millisecond, func() {}); !errors.Is(err, ErrPastEvent) {
+			t.Errorf("Schedule in past: err = %v, want ErrPastEvent", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := New()
+	ran := false
+	s.ScheduleAfter(time.Second, func() {
+		s.ScheduleAfter(-time.Hour, func() { ran = true })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.ScheduleAfter(time.Second, func() { ran = true })
+	e.Cancel()
+	e.Cancel() // idempotent
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	ran := false
+	later := s.ScheduleAfter(2*time.Second, func() { ran = true })
+	s.ScheduleAfter(time.Second, func() { later.Cancel() })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("event cancelled mid-run still executed")
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	s := New()
+	var ran []int
+	s.ScheduleAfter(1*time.Second, func() { ran = append(ran, 1) })
+	s.ScheduleAfter(2*time.Second, func() { ran = append(ran, 2) })
+	s.ScheduleAfter(3*time.Second, func() { ran = append(ran, 3) })
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran = %v, want events 1,2 only", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want deadline 2s", s.Now())
+	}
+	// Resume to completion.
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ran) != 3 {
+		t.Errorf("after resume ran = %v, want 3 events", ran)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenQueueDrains(t *testing.T) {
+	s := New()
+	s.ScheduleAfter(time.Second, func() {})
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now() = %v, want 10s after drain", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.ScheduleAfter(time.Second, func() { count++; s.Stop() })
+	s.ScheduleAfter(2*time.Second, func() { count++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped after first event)", count)
+	}
+	// A subsequent Run resumes.
+	if err := s.Run(); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	s := New(WithEventBudget(10))
+	var boom func()
+	boom = func() { s.ScheduleAfter(time.Millisecond, boom) }
+	s.ScheduleAfter(0, boom)
+	err := s.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Errorf("Run err = %v, want ErrEventBudget", err)
+	}
+	if s.Executed() != 10 {
+		t.Errorf("Executed = %d, want 10", s.Executed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() []time.Duration {
+		s := New()
+		var out []time.Duration
+		var tick func(int)
+		tick = func(depth int) {
+			out = append(out, s.Now())
+			if depth < 50 {
+				s.ScheduleAfter(time.Duration(depth+1)*time.Millisecond, func() { tick(depth + 1) })
+				s.ScheduleAfter(time.Duration(depth+1)*time.Millisecond, func() { out = append(out, -s.Now()) })
+			}
+		}
+		s.ScheduleAfter(0, func() { tick(0) })
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a := trace()
+	b := trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPendingAndExecutedCounters(t *testing.T) {
+	s := New()
+	s.ScheduleAfter(time.Second, func() {})
+	s.ScheduleAfter(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Pending() != 0 || s.Executed() != 2 {
+		t.Errorf("Pending=%d Executed=%d, want 0 and 2", s.Pending(), s.Executed())
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New()
+	e := s.ScheduleAfter(42*time.Millisecond, func() {})
+	if e.Time() != 42*time.Millisecond {
+		t.Errorf("Time() = %v, want 42ms", e.Time())
+	}
+}

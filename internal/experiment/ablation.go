@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+
+	"slpdas/internal/core"
+	"slpdas/internal/metrics"
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+	"slpdas/internal/verify"
+)
+
+// SearchDistancePoint is one cell of the SD ablation (DESIGN.md A1).
+type SearchDistancePoint struct {
+	SearchDistance int
+	CaptureRatio   metrics.Proportion
+	ChangedNodes   metrics.Summary
+}
+
+// SearchDistanceSweep measures SLP DAS capture ratio across search
+// distances on one grid size — the design-choice study behind the paper's
+// choice of SD ∈ {3, 5}.
+func SearchDistanceSweep(gridSize int, distances []int, repeats int, baseSeed uint64, workers int) ([]SearchDistancePoint, error) {
+	if len(distances) == 0 {
+		distances = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	out := make([]SearchDistancePoint, 0, len(distances))
+	for _, sd := range distances {
+		agg, err := Run(Spec{
+			GridSize: gridSize,
+			Config:   core.DefaultSLP(sd),
+			Repeats:  repeats,
+			BaseSeed: baseSeed,
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sd sweep at %d: %w", sd, err)
+		}
+		out = append(out, SearchDistancePoint{
+			SearchDistance: sd,
+			CaptureRatio:   agg.CaptureRatio,
+			ChangedNodes:   agg.ChangedNodes,
+		})
+	}
+	return out, nil
+}
+
+// SearchDistanceTable renders the sweep.
+func SearchDistanceTable(points []SearchDistancePoint) *metrics.Table {
+	t := metrics.NewTable("search distance", "capture ratio", "changed nodes")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.SearchDistance),
+			p.CaptureRatio.String(),
+			fmt.Sprintf("%.1f", p.ChangedNodes.Mean),
+		)
+	}
+	return t
+}
+
+// AttackerPoint is one cell of the attacker-strength ablation
+// (DESIGN.md A2): the exhaustive worst case of Algorithm 1 over one
+// settled schedule.
+type AttackerPoint struct {
+	Params         verify.Params
+	Captured       bool
+	CapturePeriod  int
+	StatesExplored int
+}
+
+// AttackerSweep builds one schedule with the given config and seed, then
+// verifies it against every attacker parameterisation using the
+// nondeterministic any-heard decision set.
+func AttackerSweep(gridSize int, cfg core.Config, seed uint64, params []verify.Params) ([]AttackerPoint, error) {
+	g, err := topo.DefaultGrid(gridSize)
+	if err != nil {
+		return nil, err
+	}
+	sink, source := topo.GridCentre(gridSize), topo.GridTopLeft()
+	net, err := core.NewNetwork(g, sink, source, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := net.RunSetup()
+	if err != nil {
+		return nil, err
+	}
+	delta := int(net.SafetyPeriods())
+	out := make([]AttackerPoint, 0, len(params))
+	for _, p := range params {
+		p.Start = sink
+		res, err := verify.VerifySchedule(g, assignment, p, verify.AnyHeardD, delta, source, verify.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: attacker sweep %+v: %w", p, err)
+		}
+		out = append(out, AttackerPoint{
+			Params:         p,
+			Captured:       !res.SLPAware,
+			CapturePeriod:  res.CapturePeriod,
+			StatesExplored: res.StatesExplored,
+		})
+	}
+	return out, nil
+}
+
+// AttackerTable renders the sweep.
+func AttackerTable(points []AttackerPoint) *metrics.Table {
+	t := metrics.NewTable("attacker (R,H,M)", "verdict", "states")
+	for _, p := range points {
+		verdict := "δ-SLP-aware"
+		if p.Captured {
+			verdict = fmt.Sprintf("captured in %d periods", p.CapturePeriod)
+		}
+		t.AddRow(
+			fmt.Sprintf("(%d,%d,%d)", p.Params.R, p.Params.H, p.Params.M),
+			verdict,
+			fmt.Sprintf("%d", p.StatesExplored),
+		)
+	}
+	return t
+}
+
+// LossModelPoint is one cell of the channel ablation (DESIGN.md A3).
+type LossModelPoint struct {
+	Model         string
+	CaptureRatio  metrics.Proportion
+	ScheduleValid metrics.Proportion
+}
+
+// LossModelSweep measures SLP DAS robustness across channel models.
+func LossModelSweep(gridSize, searchDistance, repeats int, baseSeed uint64, workers int, models map[string]radio.LossModel) ([]LossModelPoint, error) {
+	if models == nil {
+		models = map[string]radio.LossModel{
+			"ideal":          radio.Ideal{},
+			"bernoulli-0.05": radio.Bernoulli{P: 0.05},
+			"rssi-noise":     radio.DefaultRSSINoise(),
+		}
+	}
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	// Sort for deterministic output order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := make([]LossModelPoint, 0, len(models))
+	for _, name := range names {
+		cfg := core.DefaultSLP(searchDistance)
+		cfg.Loss = models[name]
+		agg, err := Run(Spec{
+			GridSize: gridSize,
+			Config:   cfg,
+			Repeats:  repeats,
+			BaseSeed: baseSeed,
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: loss sweep %q: %w", name, err)
+		}
+		out = append(out, LossModelPoint{
+			Model:         name,
+			CaptureRatio:  agg.CaptureRatio,
+			ScheduleValid: agg.ScheduleValid,
+		})
+	}
+	return out, nil
+}
+
+// LossModelTable renders the sweep.
+func LossModelTable(points []LossModelPoint) *metrics.Table {
+	t := metrics.NewTable("channel model", "capture ratio", "valid schedules")
+	for _, p := range points {
+		t.AddRow(p.Model, p.CaptureRatio.String(), p.ScheduleValid.String())
+	}
+	return t
+}

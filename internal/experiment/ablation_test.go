@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"slpdas/internal/core"
+	"slpdas/internal/radio"
+	"slpdas/internal/verify"
+)
+
+func TestSearchDistanceSweep(t *testing.T) {
+	points, err := SearchDistanceSweep(5, []int{1, 2}, 3, 31, 0)
+	if err != nil {
+		t.Fatalf("SearchDistanceSweep: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CaptureRatio.Trials != 3 {
+			t.Errorf("sd %d: trials = %d", p.SearchDistance, p.CaptureRatio.Trials)
+		}
+	}
+	tbl := SearchDistanceTable(points).String()
+	if !strings.Contains(tbl, "search distance") || !strings.Contains(tbl, "changed nodes") {
+		t.Errorf("table = %q", tbl)
+	}
+}
+
+func TestSearchDistanceSweepDefaults(t *testing.T) {
+	points, err := SearchDistanceSweep(5, nil, 1, 3, 0)
+	if err != nil {
+		t.Fatalf("SearchDistanceSweep: %v", err)
+	}
+	if len(points) != 7 {
+		t.Errorf("default sweep has %d points, want 7", len(points))
+	}
+}
+
+func TestAttackerSweepMonotoneInStrength(t *testing.T) {
+	params := []verify.Params{
+		{R: 1, H: 0, M: 1},
+		{R: 3, H: 0, M: 2},
+	}
+	points, err := AttackerSweep(7, core.DefaultSLP(2), 3, params)
+	if err != nil {
+		t.Fatalf("AttackerSweep: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// A strictly stronger attacker explores at least as many states and
+	// captures whenever the weaker one does.
+	if points[1].StatesExplored < points[0].StatesExplored {
+		t.Errorf("stronger attacker explored fewer states: %d < %d",
+			points[1].StatesExplored, points[0].StatesExplored)
+	}
+	if points[0].Captured && !points[1].Captured {
+		t.Error("weaker attacker captured where the stronger one did not")
+	}
+	tbl := AttackerTable(points).String()
+	if !strings.Contains(tbl, "(1,0,1)") {
+		t.Errorf("table = %q", tbl)
+	}
+}
+
+func TestLossModelSweep(t *testing.T) {
+	points, err := LossModelSweep(5, 2, 2, 9, 0, map[string]radio.LossModel{
+		"ideal":     radio.Ideal{},
+		"bern-0.05": radio.Bernoulli{P: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("LossModelSweep: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Deterministic alphabetical order.
+	if points[0].Model != "bern-0.05" || points[1].Model != "ideal" {
+		t.Errorf("order = %s, %s", points[0].Model, points[1].Model)
+	}
+	tbl := LossModelTable(points).String()
+	if !strings.Contains(tbl, "channel model") {
+		t.Errorf("table = %q", tbl)
+	}
+}
+
+func TestLossModelSweepDefaults(t *testing.T) {
+	points, err := LossModelSweep(5, 2, 1, 9, 0, nil)
+	if err != nil {
+		t.Fatalf("LossModelSweep: %v", err)
+	}
+	if len(points) != 3 {
+		t.Errorf("default sweep has %d points, want 3", len(points))
+	}
+}

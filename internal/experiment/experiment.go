@@ -1,0 +1,213 @@
+// Package experiment is the evaluation harness of Section VI: it runs
+// repeated simulations across seeds (in parallel, each fully independent
+// and deterministic), aggregates capture ratio, capture time, message
+// overhead and schedule quality, and renders the series of Figure 5 and
+// the overhead comparison.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"slpdas/internal/core"
+	"slpdas/internal/metrics"
+	"slpdas/internal/topo"
+	"slpdas/internal/wire"
+)
+
+// Spec describes one experimental cell: a topology, protocol config and
+// repetition count.
+type Spec struct {
+	// GridSize is the side of the square grid (source top-left, sink
+	// centre, as §VI-A). Build other layouts with Topology instead.
+	GridSize int
+	// Topology overrides GridSize with an explicit graph; Sink and Source
+	// must then be set.
+	Topology *topo.Graph
+	Sink     topo.NodeID
+	Source   topo.NodeID
+
+	Config  core.Config
+	Repeats int
+	// BaseSeed separates experiment batches; run r uses BaseSeed + r.
+	BaseSeed uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (s Spec) resolveTopology() (*topo.Graph, topo.NodeID, topo.NodeID, error) {
+	if s.Topology != nil {
+		return s.Topology, s.Sink, s.Source, nil
+	}
+	g, err := topo.DefaultGrid(s.GridSize)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return g, topo.GridCentre(s.GridSize), topo.GridTopLeft(), nil
+}
+
+// Aggregate is the summary of one experimental cell.
+type Aggregate struct {
+	Name     string
+	Protocol string
+	Nodes    int
+	GridSize int
+	Repeats  int
+
+	CaptureRatio    metrics.Proportion
+	CapturePeriods  metrics.Summary // over captured runs only
+	ScheduleValid   metrics.Proportion
+	SearchSucceeded metrics.Proportion // SLP only: a CHANGE path was laid
+	ChangedNodes    metrics.Summary
+
+	// Per-run traffic, split by class.
+	ControlMessages metrics.Summary
+	ControlBytes    metrics.Summary
+	TotalMessages   metrics.Summary
+	MessagesByType  map[wire.Type]metrics.Summary
+
+	// Convergecast health.
+	SourceDeliveries metrics.Summary
+	DeliveryLatency  metrics.Summary
+
+	Failures int // runs that returned an error
+	Results  []*core.Result
+}
+
+// Run executes the spec: Repeats independent simulations on distinct
+// seeds, in parallel. Every run that errors is counted and the first
+// error is returned alongside the aggregate of the successful runs.
+func Run(spec Spec) (*Aggregate, error) {
+	if spec.Repeats <= 0 {
+		return nil, fmt.Errorf("experiment: repeats must be positive, got %d", spec.Repeats)
+	}
+	g, sink, source, err := spec.resolveTopology()
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Repeats {
+		workers = spec.Repeats
+	}
+
+	results := make([]*core.Result, spec.Repeats)
+	errs := make([]error, spec.Repeats)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				seed := spec.BaseSeed + uint64(r)
+				net, err := core.NewNetwork(g, sink, source, spec.Config, seed)
+				if err != nil {
+					errs[r] = err
+					continue
+				}
+				res, err := net.Run()
+				if err != nil {
+					errs[r] = fmt.Errorf("experiment: seed %d: %w", seed, err)
+					continue
+				}
+				results[r] = res
+			}
+		}()
+	}
+	for r := 0; r < spec.Repeats; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+
+	agg := aggregate(spec, g, results)
+	var firstErr error
+	for _, e := range errs {
+		if e != nil {
+			agg.Failures++
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	return agg, firstErr
+}
+
+func aggregate(spec Spec, g *topo.Graph, results []*core.Result) *Aggregate {
+	agg := &Aggregate{
+		Protocol:       protocolLabel(spec.Config),
+		Nodes:          g.Len(),
+		GridSize:       spec.GridSize,
+		Repeats:        spec.Repeats,
+		MessagesByType: make(map[wire.Type]metrics.Summary),
+	}
+	agg.Name = fmt.Sprintf("%s/%s", g.Name(), agg.Protocol)
+
+	var capPeriods, ctrlMsgs, ctrlBytes, totMsgs, changed, deliveries, latency []float64
+	byType := make(map[wire.Type][]float64)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		agg.Results = append(agg.Results, r)
+		agg.CaptureRatio.Trials++
+		agg.ScheduleValid.Trials++
+		if r.Captured {
+			agg.CaptureRatio.Successes++
+			capPeriods = append(capPeriods, r.CapturePeriods)
+		}
+		if r.ScheduleValid() {
+			agg.ScheduleValid.Successes++
+		}
+		if spec.Config.SLP {
+			agg.SearchSucceeded.Trials++
+			if r.ChangedNodes > 0 {
+				agg.SearchSucceeded.Successes++
+			}
+		}
+		ctrlMsgs = append(ctrlMsgs, float64(r.ControlMessages()))
+		ctrlBytes = append(ctrlBytes, float64(r.ControlBytes()))
+		totMsgs = append(totMsgs, float64(r.TotalMessages()))
+		changed = append(changed, float64(r.ChangedNodes))
+		deliveries = append(deliveries, float64(r.SourceDeliveries))
+		if l := r.MeanDeliveryLatency(); l >= 0 {
+			latency = append(latency, l)
+		}
+		for t, s := range r.Messages {
+			byType[t] = append(byType[t], float64(s.Count))
+		}
+	}
+	agg.CapturePeriods = metrics.Summarize(capPeriods)
+	agg.ControlMessages = metrics.Summarize(ctrlMsgs)
+	agg.ControlBytes = metrics.Summarize(ctrlBytes)
+	agg.TotalMessages = metrics.Summarize(totMsgs)
+	agg.ChangedNodes = metrics.Summarize(changed)
+	agg.SourceDeliveries = metrics.Summarize(deliveries)
+	agg.DeliveryLatency = metrics.Summarize(latency)
+	for t, xs := range byType {
+		agg.MessagesByType[t] = metrics.Summarize(xs)
+	}
+	return agg
+}
+
+func protocolLabel(c core.Config) string {
+	if c.SLP {
+		return fmt.Sprintf("slp-das-sd%d", c.SearchDistance)
+	}
+	return "protectionless-das"
+}
+
+// MessageTypes returns the types present, sorted, for stable rendering.
+func (a *Aggregate) MessageTypes() []wire.Type {
+	out := make([]wire.Type, 0, len(a.MessagesByType))
+	for t := range a.MessagesByType {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,266 @@
+// Package gcn is a small runtime for programs written in the guarded
+// command notation of Section III-A of the paper (after Dijkstra, 1974):
+// actions of the form ⟨name⟩ :: ⟨guard⟩ → ⟨command⟩, a FIFO channel
+// variable per process with rcv(sender, msg) guards, and timeout(timer)
+// guards driven by the discrete-event simulator. The DAS, NSearch and
+// SRefine protocols of Figures 2–4 are expressed as gcn programs.
+//
+// Execution semantics: whenever a process is stimulated (message delivery
+// or timer expiry) it runs to quiescence — repeatedly executing the first
+// enabled action in declaration priority order until none is enabled.
+// Receive actions are enabled when the message at the head of the channel
+// matches their pattern; a head message matched by no receive action is
+// dropped (and counted). A per-stimulus step budget guards against
+// non-terminating programs.
+package gcn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/topo"
+)
+
+// ErrStepBudget indicates a process failed to quiesce within its step
+// budget — a protocol bug (e.g. two actions enabling each other forever).
+var ErrStepBudget = errors.New("gcn: step budget exhausted; process did not quiesce")
+
+// Message is an opaque protocol payload.
+type Message any
+
+// envelope is a queued channel entry.
+type envelope struct {
+	sender topo.NodeID
+	msg    Message
+}
+
+// Timer is a named timer owned by a process. Set schedules expiry through
+// the simulator; when it fires, the owning process is stimulated and the
+// associated timeout action's guard becomes true.
+type Timer struct {
+	name    string
+	proc    *Process
+	event   *des.Event
+	expired bool
+}
+
+// Set (re-)arms the timer to fire after d, cancelling any pending expiry.
+// This is the set(timer, value) command of the paper.
+func (t *Timer) Set(d time.Duration) {
+	if t.event != nil {
+		t.event.Cancel()
+	}
+	t.expired = false
+	t.event = t.proc.engine.sim.ScheduleAfter(d, func() {
+		// Clear the handle before stimulating: a fired event is no longer
+		// armed, and a stale handle here would make Pending() lie forever.
+		t.event = nil
+		t.expired = true
+		t.proc.engine.stimulate(t.proc)
+	})
+}
+
+// Stop cancels the timer without expiring it.
+func (t *Timer) Stop() {
+	if t.event != nil {
+		t.event.Cancel()
+		t.event = nil
+	}
+	t.expired = false
+}
+
+// Expired reports whether the timer has fired and not yet been consumed.
+func (t *Timer) Expired() bool { return t.expired }
+
+// Pending reports whether the timer is armed and counting down.
+func (t *Timer) Pending() bool {
+	return t.event != nil && !t.event.Cancelled()
+}
+
+type actionKind int
+
+const (
+	kindGuard actionKind = iota + 1
+	kindReceive
+	kindTimeout
+)
+
+type action struct {
+	name  string
+	kind  actionKind
+	guard func() bool
+	// command for guard/timeout actions.
+	command func()
+	// match/handle for receive actions.
+	match  func(Message) bool
+	handle func(sender topo.NodeID, msg Message)
+	timer  *Timer
+}
+
+// Process is a GCN process: an ordered action list, a channel variable and
+// a set of timers. Create via Engine.NewProcess.
+type Process struct {
+	id      topo.NodeID
+	engine  *Engine
+	inbox   []envelope
+	actions []*action
+	// Dropped counts head-of-channel messages no receive action matched.
+	dropped uint64
+	failed  error
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() topo.NodeID { return p.id }
+
+// Dropped returns the number of unmatched messages discarded.
+func (p *Process) Dropped() uint64 { return p.dropped }
+
+// Err returns the sticky error if the process overran its step budget.
+func (p *Process) Err() error { return p.failed }
+
+// QueueLen returns the number of undelivered messages in the channel.
+func (p *Process) QueueLen() int { return len(p.inbox) }
+
+// AddGuard appends a plain guarded action: when guard() is true and no
+// earlier action is enabled, command() runs.
+func (p *Process) AddGuard(name string, guard func() bool, command func()) {
+	p.actions = append(p.actions, &action{name: name, kind: kindGuard, guard: guard, command: command})
+}
+
+// AddReceive appends a receive action rcv⟨pattern⟩ → handle. match
+// inspects the head-of-channel message; nil match matches everything.
+func (p *Process) AddReceive(name string, match func(Message) bool, handle func(sender topo.NodeID, msg Message)) {
+	p.actions = append(p.actions, &action{name: name, kind: kindReceive, match: match, handle: handle})
+}
+
+// NewTimer creates a timer and appends its timeout(timer) → command action.
+// The expired flag is consumed (cleared) when the action runs; the command
+// may re-arm the timer with Set.
+func (p *Process) NewTimer(name string, command func()) *Timer {
+	t := &Timer{name: name, proc: p}
+	p.actions = append(p.actions, &action{name: name, kind: kindTimeout, timer: t, command: command})
+	return t
+}
+
+// Engine hosts processes on a simulator.
+type Engine struct {
+	sim        *des.Simulator
+	stepBudget int
+	// OnAction, when non-nil, is invoked before every executed action —
+	// a tracing hook used by tests and the debug tooling.
+	OnAction func(p *Process, actionName string)
+	procs    []*Process
+}
+
+// NewEngine creates an engine. stepBudget bounds actions executed per
+// stimulus per process (0 means the default of 10000).
+func NewEngine(sim *des.Simulator, stepBudget int) *Engine {
+	if stepBudget <= 0 {
+		stepBudget = 10000
+	}
+	return &Engine{sim: sim, stepBudget: stepBudget}
+}
+
+// Sim returns the engine's simulator.
+func (e *Engine) Sim() *des.Simulator { return e.sim }
+
+// NewProcess creates an empty process with the given identifier.
+func (e *Engine) NewProcess(id topo.NodeID) *Process {
+	p := &Process{id: id, engine: e}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Deliver enqueues msg from sender on p's channel variable and runs p to
+// quiescence. This is how the radio hands received frames to a protocol.
+func (e *Engine) Deliver(p *Process, sender topo.NodeID, msg Message) {
+	p.inbox = append(p.inbox, envelope{sender: sender, msg: msg})
+	e.stimulate(p)
+}
+
+// Kickstart runs p to quiescence with no new stimulus — used once at boot
+// so that initially-enabled actions (e.g. the sink's init) execute.
+func (e *Engine) Kickstart(p *Process) { e.stimulate(p) }
+
+// Err returns the first process error encountered, if any.
+func (e *Engine) Err() error {
+	for _, p := range e.procs {
+		if p.failed != nil {
+			return p.failed
+		}
+	}
+	return nil
+}
+
+// stimulate runs the process action loop until quiescence.
+func (e *Engine) stimulate(p *Process) {
+	if p.failed != nil {
+		return
+	}
+	for steps := 0; ; steps++ {
+		if steps >= e.stepBudget {
+			p.failed = fmt.Errorf("%w (process %d, budget %d)", ErrStepBudget, p.id, e.stepBudget)
+			return
+		}
+		if !p.stepOnce(e) {
+			return
+		}
+	}
+}
+
+// stepOnce executes at most one enabled action; reports whether one ran.
+func (p *Process) stepOnce(e *Engine) bool {
+	// Channel head first: receive actions have rcv guards that depend on
+	// the head message, evaluated in declaration order.
+	for len(p.inbox) > 0 {
+		head := p.inbox[0]
+		matched := false
+		for _, a := range p.actions {
+			if a.kind != kindReceive {
+				continue
+			}
+			if a.match == nil || a.match(head.msg) {
+				p.inbox = p.inbox[1:]
+				if e.OnAction != nil {
+					e.OnAction(p, a.name)
+				}
+				a.handle(head.sender, head.msg)
+				return true
+			}
+		}
+		if !matched {
+			// No receive action matches: the message is consumed and lost,
+			// mirroring an unhandled frame in a real stack.
+			p.inbox = p.inbox[1:]
+			p.dropped++
+			// Keep scanning subsequent messages in this same step.
+		}
+	}
+	// Then timeout and plain guard actions in declaration order.
+	for _, a := range p.actions {
+		switch a.kind {
+		case kindTimeout:
+			if a.timer.expired {
+				a.timer.expired = false // consume
+				if e.OnAction != nil {
+					e.OnAction(p, a.name)
+				}
+				a.command()
+				return true
+			}
+		case kindGuard:
+			if a.guard() {
+				if e.OnAction != nil {
+					e.OnAction(p, a.name)
+				}
+				a.command()
+				return true
+			}
+		case kindReceive:
+			// handled above
+		}
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package gcn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/topo"
+)
+
+type ping struct{ n int }
+type pong struct{ n int }
+
+func TestReceiveActionMatchesByPattern(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	var pings, pongs []int
+	p.AddReceive("rcvPing", func(m Message) bool { _, ok := m.(ping); return ok },
+		func(_ topo.NodeID, m Message) { pings = append(pings, m.(ping).n) })
+	p.AddReceive("rcvPong", func(m Message) bool { _, ok := m.(pong); return ok },
+		func(_ topo.NodeID, m Message) { pongs = append(pongs, m.(pong).n) })
+
+	e.Deliver(p, 2, ping{1})
+	e.Deliver(p, 2, pong{2})
+	e.Deliver(p, 2, ping{3})
+	if len(pings) != 2 || pings[0] != 1 || pings[1] != 3 {
+		t.Errorf("pings = %v", pings)
+	}
+	if len(pongs) != 1 || pongs[0] != 2 {
+		t.Errorf("pongs = %v", pongs)
+	}
+}
+
+func TestUnmatchedMessageDropped(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	p.AddReceive("rcvPing", func(m Message) bool { _, ok := m.(ping); return ok },
+		func(topo.NodeID, Message) {})
+	e.Deliver(p, 2, pong{9})
+	if p.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", p.Dropped())
+	}
+	if p.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d, want 0", p.QueueLen())
+	}
+}
+
+func TestChannelFIFO(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	var got []int
+	var deferDelivery bool
+	p.AddReceive("rcv", nil, func(_ topo.NodeID, m Message) {
+		got = append(got, m.(ping).n)
+		if !deferDelivery {
+			deferDelivery = true
+			// Re-entrant sends from within a handler must keep FIFO order.
+			p.inbox = append(p.inbox, envelope{sender: 5, msg: ping{99}})
+		}
+	})
+	e.Deliver(p, 2, ping{1})
+	e.Deliver(p, 2, ping{2})
+	want := []int{1, 99, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGuardActionRunsAfterChannelDrains(t *testing.T) {
+	// Models Figure 2's "process:: rcv⟨⟩" action: runs only once the
+	// channel has been fully consumed.
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	received := 0
+	processed := false
+	p.AddReceive("rcv", nil, func(topo.NodeID, Message) { received++ })
+	p.AddGuard("process", func() bool { return received >= 2 && !processed }, func() {
+		if p.QueueLen() != 0 {
+			t.Error("guard ran with non-empty channel")
+		}
+		processed = true
+	})
+	e.Deliver(p, 2, ping{1})
+	if processed {
+		t.Fatal("guard fired before its condition held")
+	}
+	e.Deliver(p, 2, ping{2})
+	if !processed {
+		t.Fatal("guard did not fire after condition held")
+	}
+}
+
+func TestActionPriorityOrder(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	var order []string
+	a, b := true, true
+	p.AddGuard("first", func() bool { return a }, func() { order = append(order, "first"); a = false })
+	p.AddGuard("second", func() bool { return b }, func() { order = append(order, "second"); b = false })
+	e.Kickstart(p)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("order = %v, want [first second]", order)
+	}
+}
+
+func TestTimerFiresAndConsumes(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	fired := 0
+	var tm *Timer
+	tm = p.NewTimer("tick", func() {
+		fired++
+		if fired < 3 {
+			tm.Set(100 * time.Millisecond) // periodic re-arm, like dissem
+		}
+	})
+	tm.Set(100 * time.Millisecond)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 3 {
+		t.Errorf("timer fired %d times, want 3", fired)
+	}
+	if sim.Now() != 300*time.Millisecond {
+		t.Errorf("Now = %v, want 300ms", sim.Now())
+	}
+}
+
+func TestTimerResetCancelsPrevious(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	var firedAt []time.Duration
+	tm := p.NewTimer("t", func() { firedAt = append(firedAt, sim.Now()) })
+	tm.Set(time.Second)
+	tm.Set(2 * time.Second) // reset before expiry
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(firedAt) != 1 || firedAt[0] != 2*time.Second {
+		t.Errorf("firedAt = %v, want [2s]", firedAt)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	fired := false
+	tm := p.NewTimer("t", func() { fired = true })
+	tm.Set(time.Second)
+	if !tm.Pending() {
+		t.Error("Pending = false after Set")
+	}
+	tm.Stop()
+	if tm.Pending() {
+		t.Error("Pending = true after Stop")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestStepBudgetProtectsAgainstLivelock(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 50)
+	p := e.NewProcess(1)
+	p.AddGuard("always", func() bool { return true }, func() {})
+	e.Kickstart(p)
+	if !errors.Is(p.Err(), ErrStepBudget) {
+		t.Errorf("Err = %v, want ErrStepBudget", p.Err())
+	}
+	if !errors.Is(e.Err(), ErrStepBudget) {
+		t.Errorf("engine Err = %v, want ErrStepBudget", e.Err())
+	}
+	// A failed process ignores further stimuli instead of looping again.
+	e.Deliver(p, 2, ping{1})
+	if p.QueueLen() != 1 {
+		t.Errorf("failed process consumed a message")
+	}
+}
+
+func TestOnActionTracingHook(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	var names []string
+	e.OnAction = func(_ *Process, name string) { names = append(names, name) }
+	p := e.NewProcess(1)
+	ran := false
+	p.AddReceive("rcv", nil, func(topo.NodeID, Message) {})
+	p.AddGuard("g", func() bool { return !ran }, func() { ran = true })
+	e.Deliver(p, 2, ping{1})
+	if len(names) != 2 || names[0] != "rcv" || names[1] != "g" {
+		t.Errorf("traced actions = %v, want [rcv g]", names)
+	}
+}
+
+func TestTwoProcessExchange(t *testing.T) {
+	// A deterministic two-process token exchange: each forwards the token
+	// with an incremented count until it reaches 10.
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	procs := make([]*Process, 2)
+	final := 0
+	for i := range procs {
+		i := i
+		procs[i] = e.NewProcess(topo.NodeID(i))
+		procs[i].AddReceive("token", nil, func(_ topo.NodeID, m Message) {
+			n := m.(ping).n
+			if n >= 10 {
+				final = n
+				return
+			}
+			peer := procs[1-i]
+			// Model transmission latency through the simulator.
+			sim.ScheduleAfter(time.Millisecond, func() {
+				e.Deliver(peer, topo.NodeID(i), ping{n + 1})
+			})
+		})
+	}
+	sim.ScheduleAfter(0, func() { e.Deliver(procs[0], 1, ping{0}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if final != 10 {
+		t.Errorf("final token = %d, want 10", final)
+	}
+	if err := e.Err(); err != nil {
+		t.Errorf("engine error: %v", err)
+	}
+}
+
+func TestTimerNotPendingAfterFiring(t *testing.T) {
+	// Regression: a fired-and-consumed timer must not report Pending,
+	// otherwise re-arm-if-idle logic (like the dissemination budget
+	// reset) deadlocks after the first expiry.
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	fired := 0
+	tm := p.NewTimer("t", func() { fired++ })
+	tm.Set(time.Second)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Error("Pending() = true after the timer fired and was consumed")
+	}
+	// Re-arming must work again.
+	tm.Set(time.Second)
+	if !tm.Pending() {
+		t.Error("Pending() = false after re-arm")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d after re-arm, want 2", fired)
+	}
+}
+
+func TestProcessID(t *testing.T) {
+	e := NewEngine(des.New(), 0)
+	p := e.NewProcess(42)
+	if p.ID() != 42 {
+		t.Errorf("ID = %d, want 42", p.ID())
+	}
+}

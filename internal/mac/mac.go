@@ -1,0 +1,111 @@
+// Package mac implements the TDMA medium-access layer: the slot/period
+// timing structure ("one given slot assignment will give rise to one
+// traffic pattern") and a periodic slot task that fires a node's
+// transmission opportunity once per TDMA period in its assigned slot.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"slpdas/internal/des"
+)
+
+// Timing describes the TDMA superframe: Slots slots of SlotDuration each.
+// With the paper's Table I values (100 slots × 0.05 s) a period lasts 5 s.
+type Timing struct {
+	Slots        int
+	SlotDuration time.Duration
+}
+
+// Validate reports whether the timing parameters are usable.
+func (t Timing) Validate() error {
+	if t.Slots <= 0 {
+		return fmt.Errorf("mac: slots must be positive, got %d", t.Slots)
+	}
+	if t.SlotDuration <= 0 {
+		return fmt.Errorf("mac: slot duration must be positive, got %v", t.SlotDuration)
+	}
+	return nil
+}
+
+// PeriodDuration returns the length of one TDMA period.
+func (t Timing) PeriodDuration() time.Duration {
+	return time.Duration(t.Slots) * t.SlotDuration
+}
+
+// SlotStart returns the absolute time (relative to epoch 0) at which the
+// given slot of the given period begins.
+func (t Timing) SlotStart(period, slot int) time.Duration {
+	return time.Duration(period)*t.PeriodDuration() + time.Duration(slot)*t.SlotDuration
+}
+
+// PeriodOf returns the period index containing time d (d >= 0).
+func (t Timing) PeriodOf(d time.Duration) int {
+	return int(d / t.PeriodDuration())
+}
+
+// SlotOf returns the slot index within the period containing time d.
+func (t Timing) SlotOf(d time.Duration) int {
+	return int((d % t.PeriodDuration()) / t.SlotDuration)
+}
+
+// ValidSlot reports whether slot is a transmittable slot index.
+func (t Timing) ValidSlot(slot int) bool {
+	return slot >= 0 && slot < t.Slots
+}
+
+// SlotTask schedules one transmission opportunity per TDMA period. The
+// slot is re-read at each period boundary so late slot refinements
+// (Phase 3) take effect on the next period. A slot outside [0, Slots)
+// skips the period — this is how the sink (slot Δ = Slots) never
+// transmits.
+type SlotTask struct {
+	sim     *des.Simulator
+	timing  Timing
+	epoch   time.Duration
+	slot    func() int
+	fire    func(period int)
+	stopped bool
+	period  int
+}
+
+// StartSlotTask begins per-period slot firing at absolute time epoch
+// (the start of period 0). slot is polled at each period start; fire runs
+// at the slot's offset within the period.
+func StartSlotTask(sim *des.Simulator, timing Timing, epoch time.Duration, slot func() int, fire func(period int)) (*SlotTask, error) {
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	if epoch < sim.Now() {
+		return nil, fmt.Errorf("mac: epoch %v is in the past (now %v)", epoch, sim.Now())
+	}
+	st := &SlotTask{sim: sim, timing: timing, epoch: epoch, slot: slot, fire: fire}
+	if _, err := sim.Schedule(epoch, st.periodStart); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Stop halts the task after the current event.
+func (st *SlotTask) Stop() { st.stopped = true }
+
+// Period returns the index of the period currently scheduled or running.
+func (st *SlotTask) Period() int { return st.period }
+
+func (st *SlotTask) periodStart() {
+	if st.stopped {
+		return
+	}
+	period := st.period
+	s := st.slot()
+	if st.timing.ValidSlot(s) {
+		st.sim.ScheduleAfter(time.Duration(s)*st.timing.SlotDuration, func() {
+			if !st.stopped {
+				st.fire(period)
+			}
+		})
+	}
+	st.period++
+	st.sim.ScheduleAfter(st.timing.PeriodDuration(), st.periodStart)
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 not positive")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.Std != 0 || one.CI95() != 0 {
+		t.Errorf("single-sample summary = %+v", one)
+	}
+}
+
+func TestSummarizeQuickBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological magnitudes whose sum overflows float64;
+			// experiment metrics live far below this.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 12, Trials: 100}
+	if p.Value() != 0.12 {
+		t.Errorf("Value = %v", p.Value())
+	}
+	if p.Percent() != 12 {
+		t.Errorf("Percent = %v", p.Percent())
+	}
+	if p.CI95() <= 0 || p.CI95() > 0.1 {
+		t.Errorf("CI95 = %v", p.CI95())
+	}
+	if got := p.String(); got != "12.0% (12/100)" {
+		t.Errorf("String = %q", got)
+	}
+	empty := Proportion{}
+	if !math.IsNaN(empty.Value()) {
+		t.Error("empty proportion should be NaN")
+	}
+	if empty.CI95() != 0 {
+		t.Error("empty proportion CI should be 0")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+sep+2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// All lines padded to the same visible width per column: the value
+	// column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("size", "ratio")
+	tb.AddRow("11", "25.0")
+	tb.AddRow("15", "20.0")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	want := "size,ratio\n11,25.0\n15,20.0\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow("a,b", "with \"quotes\"")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(b.String(), `"a,b"`) {
+		t.Errorf("comma cell not quoted: %q", b.String())
+	}
+}

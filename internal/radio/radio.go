@@ -1,0 +1,243 @@
+// Package radio simulates the shared wireless medium: broadcast over the
+// unit-disk connectivity of a topology, configurable loss models, a
+// receiver-side collision model, and eavesdropper taps through which the
+// attacker overhears transmissions. Together with internal/des it replaces
+// the TOSSIM radio stack used by the paper's evaluation.
+package radio
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/topo"
+	"slpdas/internal/xrand"
+)
+
+// IEEE 802.15.4-flavoured timing defaults: 250 kbit/s payload rate plus a
+// fixed synchronisation overhead per frame.
+const (
+	// DefaultBitrate is the payload bitrate in bits per second.
+	DefaultBitrate = 250_000
+	// DefaultFrameOverhead is the preamble/SFD/PHY-header airtime.
+	DefaultFrameOverhead = 160 * time.Microsecond
+	// DefaultPropagationDelay is the (negligible) propagation latency.
+	DefaultPropagationDelay = time.Microsecond
+)
+
+// Receiver consumes frames delivered to a node.
+type Receiver func(from topo.NodeID, payload []byte)
+
+// Observation is what an eavesdropper perceives about one transmission:
+// who transmitted, from where, and when — never the payload (the paper
+// assumes encrypted content; only context leaks).
+type Observation struct {
+	At    time.Duration // time the transmission ended (fully observed)
+	From  topo.NodeID
+	Pos   topo.Point
+	Bytes int
+}
+
+// Observer is notified of every transmission whose sender is within radio
+// range of the observer's current position.
+type Observer interface {
+	// Location returns the observer's current position.
+	Location() topo.Point
+	// Overhear is called once per audible transmission.
+	Overhear(obs Observation)
+}
+
+// Stats aggregates medium-level counters for the overhead experiment.
+type Stats struct {
+	Broadcasts     uint64 // frames transmitted
+	BytesSent      uint64 // payload bytes transmitted
+	Deliveries     uint64 // frame receptions delivered to receivers
+	LossDrops      uint64 // receptions dropped by the loss model
+	CollisionDrops uint64 // receptions dropped by collisions
+}
+
+// Medium is the shared broadcast channel. It is not safe for concurrent
+// use; the simulator is single-threaded by design.
+type Medium struct {
+	sim        *des.Simulator
+	g          *topo.Graph
+	loss       LossModel
+	collisions bool
+	rng        *rand.Rand
+	bitrate    int
+	overhead   time.Duration
+	propDelay  time.Duration
+
+	receivers []Receiver
+	disabled  []bool
+	observers map[int]Observer
+	nextObsID int
+
+	// rxBusy tracks, per node, the end time of the latest reception overlap
+	// window and whether the current window is corrupted.
+	rxEnd       []time.Duration
+	rxCorrupted []bool
+	rxPending   []*pendingRx
+
+	stats Stats
+}
+
+type pendingRx struct {
+	corrupted bool
+}
+
+// Option configures the medium.
+type Option func(*Medium)
+
+// WithLossModel selects the channel loss model (default Ideal).
+func WithLossModel(m LossModel) Option {
+	return func(r *Medium) { r.loss = m }
+}
+
+// WithCollisions enables receiver-side collision corruption: two
+// temporally overlapping transmissions audible at the same node destroy
+// both receptions there.
+func WithCollisions(enabled bool) Option {
+	return func(r *Medium) { r.collisions = enabled }
+}
+
+// WithBitrate overrides the payload bitrate in bits per second.
+func WithBitrate(bps int) Option {
+	return func(r *Medium) { r.bitrate = bps }
+}
+
+// New builds a medium over graph g driven by sim, deriving its random
+// stream from seed.
+func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium {
+	m := &Medium{
+		sim:         sim,
+		g:           g,
+		loss:        Ideal{},
+		rng:         xrand.NewNamed(seed, "radio"),
+		bitrate:     DefaultBitrate,
+		overhead:    DefaultFrameOverhead,
+		propDelay:   DefaultPropagationDelay,
+		receivers:   make([]Receiver, g.Len()),
+		disabled:    make([]bool, g.Len()),
+		observers:   make(map[int]Observer),
+		rxEnd:       make([]time.Duration, g.Len()),
+		rxCorrupted: make([]bool, g.Len()),
+		rxPending:   make([]*pendingRx, g.Len()),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// SetReceiver registers the frame consumer for node n.
+func (m *Medium) SetReceiver(n topo.NodeID, r Receiver) {
+	m.receivers[n] = r
+}
+
+// DisableNode fails node n: it no longer transmits or receives. Used for
+// failure-injection experiments.
+func (m *Medium) DisableNode(n topo.NodeID) { m.disabled[n] = true }
+
+// NodeDisabled reports whether n has been failed.
+func (m *Medium) NodeDisabled(n topo.NodeID) bool { return m.disabled[n] }
+
+// AddObserver registers an eavesdropper and returns an id usable with
+// RemoveObserver.
+func (m *Medium) AddObserver(o Observer) int {
+	id := m.nextObsID
+	m.nextObsID++
+	m.observers[id] = o
+	return id
+}
+
+// RemoveObserver unregisters an eavesdropper.
+func (m *Medium) RemoveObserver(id int) { delete(m.observers, id) }
+
+// Airtime returns the on-air duration of a payload of the given size.
+func (m *Medium) Airtime(bytes int) time.Duration {
+	return m.overhead + time.Duration(bytes*8)*time.Second/time.Duration(m.bitrate)
+}
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Broadcast transmits payload from node `from` to every node within radio
+// range. Delivery happens at now + airtime + propagation. The payload
+// slice is copied; callers may reuse their buffer.
+func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
+	if !m.g.Valid(from) {
+		panic(fmt.Sprintf("radio: broadcast from invalid node %d", from))
+	}
+	if m.disabled[from] {
+		return
+	}
+	m.stats.Broadcasts++
+	m.stats.BytesSent += uint64(len(payload))
+
+	buf := append([]byte(nil), payload...)
+	now := m.sim.Now()
+	airtime := m.Airtime(len(buf))
+	endAt := now + airtime + m.propDelay
+	senderPos := m.g.Position(from)
+
+	// Schedule deliveries to in-range nodes, applying loss and collisions.
+	for _, to := range m.g.Neighbors(from) {
+		to := to
+		if m.disabled[to] {
+			continue
+		}
+		if m.loss.Lost(senderPos.DistanceTo(m.g.Position(to)), m.rng) {
+			m.stats.LossDrops++
+			continue
+		}
+		rx := &pendingRx{}
+		if m.collisions {
+			if m.rxEnd[to] > now {
+				// Overlapping with an ongoing reception: both corrupted.
+				rx.corrupted = true
+				if m.rxPending[to] != nil {
+					m.rxPending[to].corrupted = true
+				}
+				if endAt > m.rxEnd[to] {
+					m.rxEnd[to] = endAt
+					m.rxPending[to] = rx
+				}
+			} else {
+				m.rxEnd[to] = endAt
+				m.rxPending[to] = rx
+			}
+		}
+		m.sim.ScheduleAfter(airtime+m.propDelay, func() {
+			if m.disabled[to] {
+				return
+			}
+			if rx.corrupted {
+				m.stats.CollisionDrops++
+				return
+			}
+			if recv := m.receivers[to]; recv != nil {
+				m.stats.Deliveries++
+				recv(from, buf)
+			}
+		})
+	}
+
+	// Eavesdroppers: anyone within radio range of the sender observes the
+	// transmission (collisions do not hide the fact that a node keyed up;
+	// direction finding works on the carrier, not the payload). Iterate in
+	// id order so event scheduling stays deterministic.
+	for id := 0; id < m.nextObsID; id++ {
+		obs, ok := m.observers[id]
+		if !ok {
+			continue
+		}
+		if senderPos.DistanceTo(obs.Location()) <= m.g.RadioRange()+1e-9 {
+			size := len(buf)
+			m.sim.ScheduleAfter(airtime+m.propDelay, func() {
+				obs.Overhear(Observation{At: m.sim.Now(), From: from, Pos: senderPos, Bytes: size})
+			})
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/topo"
+	"slpdas/internal/xrand"
+)
+
+func newTestMedium(t *testing.T, side int, opts ...Option) (*des.Simulator, *topo.Graph, *Medium) {
+	t.Helper()
+	g, err := topo.DefaultGrid(side)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	sim := des.New()
+	return sim, g, New(sim, g, 1, opts...)
+}
+
+func TestBroadcastReachesOnlyNeighbours(t *testing.T) {
+	sim, g, m := newTestMedium(t, 5)
+	received := make(map[topo.NodeID][]byte)
+	for n := topo.NodeID(0); int(n) < g.Len(); n++ {
+		n := n
+		m.SetReceiver(n, func(from topo.NodeID, payload []byte) {
+			received[n] = payload
+		})
+	}
+	centre := topo.GridIndex(5, 2, 2)
+	sim.ScheduleAfter(0, func() { m.Broadcast(centre, []byte{1, 2, 3}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(received) != 4 {
+		t.Fatalf("received by %d nodes, want the 4 cardinal neighbours", len(received))
+	}
+	for _, n := range g.Neighbors(centre) {
+		if string(received[n]) != "\x01\x02\x03" {
+			t.Errorf("neighbour %d payload = %v", n, received[n])
+		}
+	}
+	if _, self := received[centre]; self {
+		t.Error("sender received its own broadcast")
+	}
+}
+
+func TestAirtimeScalesWithPayload(t *testing.T) {
+	_, _, m := newTestMedium(t, 3)
+	small := m.Airtime(10)
+	big := m.Airtime(100)
+	if big <= small {
+		t.Errorf("airtime(100)=%v <= airtime(10)=%v", big, small)
+	}
+	// 100 bytes at 250kbps = 3.2ms payload time plus overhead.
+	want := DefaultFrameOverhead + 3200*time.Microsecond
+	if big != want {
+		t.Errorf("airtime(100) = %v, want %v", big, want)
+	}
+}
+
+func TestDeliveryDelayedByAirtime(t *testing.T) {
+	sim, _, m := newTestMedium(t, 3)
+	var deliveredAt time.Duration
+	m.SetReceiver(1, func(topo.NodeID, []byte) { deliveredAt = sim.Now() })
+	payload := make([]byte, 50)
+	sim.ScheduleAfter(0, func() { m.Broadcast(0, payload) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := m.Airtime(50) + DefaultPropagationDelay
+	if deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	g, err := topo.Line(2, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithLossModel(Bernoulli{P: 0.3}))
+	delivered := 0
+	m.SetReceiver(1, func(topo.NodeID, []byte) { delivered++ })
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		at := time.Duration(i) * time.Second
+		if _, err := sim.Schedule(at, func() { m.Broadcast(0, []byte{9}) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rate := float64(delivered) / trials
+	if math.Abs(rate-0.7) > 0.03 {
+		t.Errorf("delivery rate = %.3f, want ≈0.70", rate)
+	}
+	if m.Stats().LossDrops != uint64(trials-delivered) {
+		t.Errorf("LossDrops = %d, want %d", m.Stats().LossDrops, trials-delivered)
+	}
+}
+
+func TestIdealLossless(t *testing.T) {
+	sim, _, m := newTestMedium(t, 2)
+	delivered := 0
+	m.SetReceiver(1, func(topo.NodeID, []byte) { delivered++ })
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * time.Second
+		if _, err := sim.Schedule(at, func() { m.Broadcast(0, []byte{1}) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 100 {
+		t.Errorf("delivered = %d, want 100", delivered)
+	}
+}
+
+func TestRSSINoiseMonotonicInDistance(t *testing.T) {
+	model := DefaultRSSINoise()
+	r := xrand.NewNamed(3, "rssi-test")
+	lossAt := func(d float64) float64 {
+		lost := 0
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			if model.Lost(d, r) {
+				lost++
+			}
+		}
+		return float64(lost) / trials
+	}
+	near := lossAt(4.5)
+	far := lossAt(30)
+	if near > 0.05 {
+		t.Errorf("loss at 4.5m = %.3f, want <5%%", near)
+	}
+	if far < near {
+		t.Errorf("loss at 30m (%.3f) < loss at 4.5m (%.3f); want monotone increase", far, near)
+	}
+}
+
+func TestCollisionCorruptsBothFrames(t *testing.T) {
+	// Line 0-1-2: node 1 hears both 0 and 2. Simultaneous transmissions
+	// must collide at 1 but node 0 and 2 (each hearing only one frame)
+	// still receive.
+	g, err := topo.Line(3, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	got := map[topo.NodeID]int{}
+	for n := topo.NodeID(0); n < 3; n++ {
+		n := n
+		m.SetReceiver(n, func(topo.NodeID, []byte) { got[n]++ })
+	}
+	sim.ScheduleAfter(0, func() {
+		m.Broadcast(0, make([]byte, 20))
+		m.Broadcast(2, make([]byte, 20))
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got[1] != 0 {
+		t.Errorf("middle node received %d frames, want 0 (collision)", got[1])
+	}
+	if m.Stats().CollisionDrops != 2 {
+		t.Errorf("CollisionDrops = %d, want 2", m.Stats().CollisionDrops)
+	}
+}
+
+func TestNoCollisionWhenSeparatedInTime(t *testing.T) {
+	g, err := topo.Line(3, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	count := 0
+	m.SetReceiver(1, func(topo.NodeID, []byte) { count++ })
+	sim.ScheduleAfter(0, func() { m.Broadcast(0, make([]byte, 20)) })
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(2, make([]byte, 20)) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("received %d, want 2 (no temporal overlap)", count)
+	}
+}
+
+func TestCollisionsDisabledByDefault(t *testing.T) {
+	g, err := topo.Line(3, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1)
+	count := 0
+	m.SetReceiver(1, func(topo.NodeID, []byte) { count++ })
+	sim.ScheduleAfter(0, func() {
+		m.Broadcast(0, make([]byte, 20))
+		m.Broadcast(2, make([]byte, 20))
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("received %d, want 2 with collisions disabled", count)
+	}
+}
+
+type fixedObserver struct {
+	pos  topo.Point
+	seen []Observation
+}
+
+func (o *fixedObserver) Location() topo.Point    { return o.pos }
+func (o *fixedObserver) Overhear(ob Observation) { o.seen = append(o.seen, ob) }
+
+func TestObserverHearsOnlyInRange(t *testing.T) {
+	sim, g, m := newTestMedium(t, 5)
+	nearSink := &fixedObserver{pos: g.Position(topo.GridIndex(5, 2, 2))}
+	farAway := &fixedObserver{pos: topo.Point{X: 1000, Y: 1000}}
+	m.AddObserver(nearSink)
+	m.AddObserver(farAway)
+	// A neighbour of the centre transmits.
+	sim.ScheduleAfter(0, func() { m.Broadcast(topo.GridIndex(5, 2, 1), []byte{1, 2}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(nearSink.seen) != 1 {
+		t.Fatalf("near observer heard %d transmissions, want 1", len(nearSink.seen))
+	}
+	obs := nearSink.seen[0]
+	if obs.From != topo.GridIndex(5, 2, 1) || obs.Bytes != 2 {
+		t.Errorf("observation = %+v", obs)
+	}
+	if len(farAway.seen) != 0 {
+		t.Errorf("far observer heard %d transmissions, want 0", len(farAway.seen))
+	}
+}
+
+func TestObserverHearsColocatedSender(t *testing.T) {
+	sim, g, m := newTestMedium(t, 5)
+	at := topo.GridIndex(5, 1, 1)
+	obs := &fixedObserver{pos: g.Position(at)}
+	m.AddObserver(obs)
+	sim.ScheduleAfter(0, func() { m.Broadcast(at, []byte{7}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(obs.seen) != 1 {
+		t.Errorf("co-located observer heard %d, want 1 (hears the node it sits at)", len(obs.seen))
+	}
+}
+
+func TestRemoveObserver(t *testing.T) {
+	sim, g, m := newTestMedium(t, 3)
+	obs := &fixedObserver{pos: g.Position(0)}
+	id := m.AddObserver(obs)
+	m.RemoveObserver(id)
+	sim.ScheduleAfter(0, func() { m.Broadcast(0, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(obs.seen) != 0 {
+		t.Errorf("removed observer still heard %d transmissions", len(obs.seen))
+	}
+}
+
+func TestDisabledNodeNeitherSendsNorReceives(t *testing.T) {
+	sim, _, m := newTestMedium(t, 2)
+	count := 0
+	m.SetReceiver(1, func(topo.NodeID, []byte) { count++ })
+	m.DisableNode(1)
+	sim.ScheduleAfter(0, func() { m.Broadcast(0, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 0 {
+		t.Error("disabled node received a frame")
+	}
+	if !m.NodeDisabled(1) {
+		t.Error("NodeDisabled(1) = false")
+	}
+	// Disabled sender transmits nothing.
+	before := m.Stats().Broadcasts
+	sim.ScheduleAfter(0, func() { m.Broadcast(1, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Stats().Broadcasts != before {
+		t.Error("disabled node transmitted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	sim, _, m := newTestMedium(t, 2)
+	m.SetReceiver(1, func(topo.NodeID, []byte) {})
+	sim.ScheduleAfter(0, func() { m.Broadcast(0, make([]byte, 10)) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := m.Stats()
+	if s.Broadcasts != 1 || s.BytesSent != 10 || s.Deliveries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPayloadCopiedNotAliased(t *testing.T) {
+	sim, _, m := newTestMedium(t, 2)
+	var got []byte
+	m.SetReceiver(1, func(_ topo.NodeID, p []byte) { got = p })
+	buf := []byte{1, 2, 3}
+	sim.ScheduleAfter(0, func() {
+		m.Broadcast(0, buf)
+		buf[0] = 99 // mutate after broadcast
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got[0] != 1 {
+		t.Error("delivered payload aliased the caller's buffer")
+	}
+}
+
+func TestLossModelNames(t *testing.T) {
+	if (Ideal{}).Name() != "ideal" {
+		t.Error("Ideal name")
+	}
+	if (Bernoulli{P: 0.25}).Name() != "bernoulli(0.25)" {
+		t.Errorf("Bernoulli name = %q", Bernoulli{P: 0.25}.Name())
+	}
+	if DefaultRSSINoise().Name() != "rssi-noise" {
+		t.Error("RSSINoise name")
+	}
+}

@@ -1,0 +1,33 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderGrid renders a side×side grid topology as an ASCII map, labelling
+// each node with the string returned by label. Labels are right-aligned in
+// fixed-width cells. It is used by the inspection tools and the wildlife
+// example to visualise slot assignments and attacker positions.
+func RenderGrid(side int, label func(NodeID) string) string {
+	width := 1
+	labels := make([]string, side*side)
+	for n := range labels {
+		labels[n] = label(NodeID(n))
+		if len(labels[n]) > width {
+			width = len(labels[n])
+		}
+	}
+	var b strings.Builder
+	b.Grow(side * side * (width + 1))
+	for row := 0; row < side; row++ {
+		for col := 0; col < side; col++ {
+			if col > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%*s", width, labels[int(GridIndex(side, row, col))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package topo models wireless sensor network topologies as undirected
+// graphs with node positions and unit-disk connectivity, following the
+// system model of Section III-A of the paper: nodes have a circular
+// communication range and two nodes are linked iff they are within range
+// of each other.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID is the unique identifier of a WSN node. IDs are dense indices in
+// [0, Graph.Len()).
+type NodeID int32
+
+// None is the sentinel "no node" value.
+const None NodeID = -1
+
+// Point is a node position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance between p and q in metres.
+func (p Point) DistanceTo(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// String renders the point as "(x, y)".
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y)
+}
+
+// Graph is an immutable undirected WSN topology. Adjacency lists are sorted
+// by node ID so that every iteration order in the system is deterministic.
+type Graph struct {
+	name       string
+	positions  []Point
+	adj        [][]NodeID
+	radioRange float64
+	edgeCount  int
+}
+
+// NewGraph builds a unit-disk graph over the given positions: nodes i and j
+// share an edge iff their distance is at most radioRange. It returns an
+// error if radioRange is not positive or no positions are supplied.
+func NewGraph(name string, positions []Point, radioRange float64) (*Graph, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("topo: no positions supplied")
+	}
+	if radioRange <= 0 {
+		return nil, fmt.Errorf("topo: radio range must be positive, got %v", radioRange)
+	}
+	g := &Graph{
+		name:       name,
+		positions:  append([]Point(nil), positions...),
+		adj:        make([][]NodeID, len(positions)),
+		radioRange: radioRange,
+	}
+	const eps = 1e-9
+	for i := range positions {
+		for j := i + 1; j < len(positions); j++ {
+			if positions[i].DistanceTo(positions[j]) <= radioRange+eps {
+				g.adj[i] = append(g.adj[i], NodeID(j))
+				g.adj[j] = append(g.adj[j], NodeID(i))
+				g.edgeCount++
+			}
+		}
+	}
+	for i := range g.adj {
+		sort.Slice(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] })
+	}
+	return g, nil
+}
+
+// Name returns the human-readable topology name (e.g. "grid-11x11").
+func (g *Graph) Name() string { return g.name }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.positions) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int { return g.edgeCount }
+
+// RadioRange returns the communication range used to build the graph.
+func (g *Graph) RadioRange() float64 { return g.radioRange }
+
+// Valid reports whether n is a node of the graph.
+func (g *Graph) Valid(n NodeID) bool { return n >= 0 && int(n) < len(g.positions) }
+
+// Position returns the position of node n.
+func (g *Graph) Position(n NodeID) Point { return g.positions[n] }
+
+// Positions returns a copy of all node positions indexed by NodeID.
+func (g *Graph) Positions() []Point {
+	return append([]Point(nil), g.positions...)
+}
+
+// Neighbors returns the 1-hop neighbourhood of n, sorted by ID. The returned
+// slice is shared and must not be modified.
+func (g *Graph) Neighbors(n NodeID) []NodeID { return g.adj[n] }
+
+// Degree returns the number of neighbours of n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// HasEdge reports whether nodes a and b are within communication range.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	neigh := g.adj[a]
+	i := sort.Search(len(neigh), func(i int) bool { return neigh[i] >= b })
+	return i < len(neigh) && neigh[i] == b
+}
+
+// TwoHop returns CG(n): the set of nodes within two hops of n, excluding n
+// itself, sorted by ID. This is the collision neighbourhood of Definition 1.
+func (g *Graph) TwoHop(n NodeID) []NodeID {
+	seen := make(map[NodeID]struct{}, 4*len(g.adj[n])+1)
+	for _, m := range g.adj[n] {
+		seen[m] = struct{}{}
+		for _, o := range g.adj[m] {
+			seen[o] = struct{}{}
+		}
+	}
+	delete(seen, n)
+	out := make([]NodeID, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// BFSFrom returns hop distances from root to every node; unreachable nodes
+// get distance -1.
+func (g *Graph) BFSFrom(root NodeID) []int {
+	dist := make([]int, len(g.positions))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := make([]NodeID, 0, len(g.positions))
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, m := range g.adj[cur] {
+			if dist[m] < 0 {
+				dist[m] = dist[cur] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistance returns the hop distance between a and b, or -1 if
+// disconnected.
+func (g *Graph) HopDistance(a, b NodeID) int {
+	return g.BFSFrom(a)[b]
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *Graph) Connected() bool {
+	for _, d := range g.BFSFrom(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the maximum hop distance over all pairs, or -1 if the
+// graph is disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for n := NodeID(0); int(n) < g.Len(); n++ {
+		for _, d := range g.BFSFrom(n) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// ShortestPathNextHops returns the neighbours of n that lie on a shortest
+// path from n towards the root of the supplied BFS distance vector, i.e.
+// neighbours m with dist[m] == dist[n]-1. This is the neighbour set used by
+// condition 3 of the strong DAS definition.
+func (g *Graph) ShortestPathNextHops(n NodeID, dist []int) []NodeID {
+	var out []NodeID
+	for _, m := range g.adj[n] {
+		if dist[m] >= 0 && dist[n] >= 0 && dist[m] == dist[n]-1 {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, side int) *Graph {
+	t.Helper()
+	g, err := DefaultGrid(side)
+	if err != nil {
+		t.Fatalf("DefaultGrid(%d): %v", side, err)
+	}
+	return g
+}
+
+func TestGridNodeAndEdgeCounts(t *testing.T) {
+	for _, side := range []int{2, 3, 11, 15, 21} {
+		g := mustGrid(t, side)
+		if got, want := g.Len(), side*side; got != want {
+			t.Errorf("grid %d: Len() = %d, want %d", side, got, want)
+		}
+		// A side×side 4-neighbour grid has 2*side*(side-1) edges.
+		if got, want := g.EdgeCount(), 2*side*(side-1); got != want {
+			t.Errorf("grid %d: EdgeCount() = %d, want %d", side, got, want)
+		}
+	}
+}
+
+func TestGridCardinalNeighboursOnly(t *testing.T) {
+	g := mustGrid(t, 5)
+	centre := GridIndex(5, 2, 2)
+	neigh := g.Neighbors(centre)
+	want := []NodeID{GridIndex(5, 1, 2), GridIndex(5, 2, 1), GridIndex(5, 2, 3), GridIndex(5, 3, 2)}
+	if len(neigh) != len(want) {
+		t.Fatalf("centre neighbours = %v, want %v", neigh, want)
+	}
+	for i, n := range want {
+		if neigh[i] != n {
+			t.Errorf("neighbour[%d] = %d, want %d", i, neigh[i], n)
+		}
+	}
+	// Diagonal must not be connected at range == spacing.
+	if g.HasEdge(centre, GridIndex(5, 1, 1)) {
+		t.Error("diagonal neighbour within range; want cardinal connectivity only")
+	}
+}
+
+func TestGridCornerDegree(t *testing.T) {
+	g := mustGrid(t, 11)
+	if got := g.Degree(GridTopLeft()); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	if got := g.Degree(GridCentre(11)); got != 4 {
+		t.Errorf("centre degree = %d, want 4", got)
+	}
+}
+
+func TestGridCoordRoundTrip(t *testing.T) {
+	const side = 15
+	for n := NodeID(0); int(n) < side*side; n++ {
+		row, col := GridCoord(side, n)
+		if GridIndex(side, row, col) != n {
+			t.Fatalf("GridIndex(GridCoord(%d)) = %d", n, GridIndex(side, row, col))
+		}
+	}
+}
+
+func TestBFSDistancesOnGrid(t *testing.T) {
+	const side = 11
+	g := mustGrid(t, side)
+	dist := g.BFSFrom(GridCentre(side))
+	cr, cc := GridCoord(side, GridCentre(side))
+	for n := range dist {
+		row, col := GridCoord(side, NodeID(n))
+		manhattan := abs(row-cr) + abs(col-cc)
+		if dist[n] != manhattan {
+			t.Fatalf("dist[%d] = %d, want Manhattan %d", n, dist[n], manhattan)
+		}
+	}
+	// The paper's Δss for an 11×11 grid: top-left source to centre sink.
+	if got := dist[GridTopLeft()]; got != 10 {
+		t.Errorf("Δss = %d, want 10", got)
+	}
+}
+
+func TestHopDistanceSymmetry(t *testing.T) {
+	g, err := RandomGeometric(40, 50, 50, 12, 7)
+	if err != nil {
+		t.Fatalf("RandomGeometric: %v", err)
+	}
+	for a := NodeID(0); int(a) < g.Len(); a += 7 {
+		for b := NodeID(0); int(b) < g.Len(); b += 5 {
+			if g.HopDistance(a, b) != g.HopDistance(b, a) {
+				t.Fatalf("asymmetric hop distance between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestTwoHopMatchesBruteForce(t *testing.T) {
+	g, err := RandomGeometric(60, 60, 60, 13, 3)
+	if err != nil {
+		t.Fatalf("RandomGeometric: %v", err)
+	}
+	for n := NodeID(0); int(n) < g.Len(); n++ {
+		want := make(map[NodeID]bool)
+		dist := g.BFSFrom(n)
+		for m := range dist {
+			if dist[m] == 1 || dist[m] == 2 {
+				want[NodeID(m)] = true
+			}
+		}
+		got := g.TwoHop(n)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: TwoHop size %d, want %d", n, len(got), len(want))
+		}
+		for _, m := range got {
+			if !want[m] {
+				t.Fatalf("node %d: TwoHop contains %d which is not at distance 1 or 2", n, m)
+			}
+		}
+	}
+}
+
+func TestTwoHopExcludesSelf(t *testing.T) {
+	g := mustGrid(t, 5)
+	for n := NodeID(0); int(n) < g.Len(); n++ {
+		for _, m := range g.TwoHop(n) {
+			if m == n {
+				t.Fatalf("TwoHop(%d) contains the node itself", n)
+			}
+		}
+	}
+}
+
+func TestEdgeDistanceProperty(t *testing.T) {
+	// For every edge (a,b), |dist(root,a) - dist(root,b)| <= 1.
+	check := func(seed uint64) bool {
+		g, err := RandomGeometric(30, 40, 40, 12, seed)
+		if err != nil {
+			return true // connectivity retry exhausted; skip
+		}
+		dist := g.BFSFrom(0)
+		for a := NodeID(0); int(a) < g.Len(); a++ {
+			for _, b := range g.Neighbors(a) {
+				if d := dist[a] - dist[b]; d < -1 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAndRing(t *testing.T) {
+	line, err := Line(10, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	if line.Degree(0) != 1 || line.Degree(5) != 2 {
+		t.Errorf("line degrees: end=%d mid=%d, want 1 and 2", line.Degree(0), line.Degree(5))
+	}
+	if got := line.HopDistance(0, 9); got != 9 {
+		t.Errorf("line hop distance = %d, want 9", got)
+	}
+
+	ring, err := Ring(12, 4.5, 5.0)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	for n := NodeID(0); int(n) < ring.Len(); n++ {
+		if ring.Degree(n) != 2 {
+			t.Fatalf("ring node %d degree = %d, want 2", n, ring.Degree(n))
+		}
+	}
+	if got := ring.HopDistance(0, 6); got != 6 {
+		t.Errorf("ring hop distance = %d, want 6", got)
+	}
+}
+
+func TestDiameterGrid(t *testing.T) {
+	g := mustGrid(t, 5)
+	if got := g.Diameter(); got != 8 {
+		t.Errorf("5x5 grid diameter = %d, want 8", got)
+	}
+}
+
+func TestShortestPathNextHops(t *testing.T) {
+	const side = 5
+	g := mustGrid(t, side)
+	dist := g.BFSFrom(GridCentre(side))
+	// The corner has two shortest-path next hops towards the centre.
+	hops := g.ShortestPathNextHops(GridTopLeft(), dist)
+	if len(hops) != 2 {
+		t.Fatalf("corner next hops = %v, want 2 entries", hops)
+	}
+	for _, m := range hops {
+		if dist[m] != dist[GridTopLeft()]-1 {
+			t.Errorf("next hop %d at distance %d, want %d", m, dist[m], dist[GridTopLeft()]-1)
+		}
+	}
+	// The sink itself has none.
+	if hops := g.ShortestPathNextHops(GridCentre(side), dist); len(hops) != 0 {
+		t.Errorf("sink next hops = %v, want none", hops)
+	}
+}
+
+func TestInvalidBuilders(t *testing.T) {
+	if _, err := Grid(1, 4.5, 4.5); err == nil {
+		t.Error("Grid(1) succeeded, want error")
+	}
+	if _, err := NewGraph("x", nil, 4.5); err == nil {
+		t.Error("NewGraph with no positions succeeded, want error")
+	}
+	if _, err := NewGraph("x", []Point{{}}, -1); err == nil {
+		t.Error("NewGraph with negative range succeeded, want error")
+	}
+	if _, err := Line(1, 4.5, 4.5); err == nil {
+		t.Error("Line(1) succeeded, want error")
+	}
+	if _, err := Ring(2, 4.5, 4.5); err == nil {
+		t.Error("Ring(2) succeeded, want error")
+	}
+	if _, err := RandomGeometric(1, 10, 10, 5, 1); err == nil {
+		t.Error("RandomGeometric(1) succeeded, want error")
+	}
+	// Disconnected by construction: tiny range, many retries exhausted.
+	if _, err := RandomGeometric(50, 1000, 1000, 1, 1); err == nil {
+		t.Error("RandomGeometric with tiny range succeeded, want connectivity error")
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	out := RenderGrid(2, func(n NodeID) string { return map[NodeID]string{0: "a", 1: "bb", 2: "c", 3: "d"}[n] })
+	want := " a bb\n c  d\n"
+	if out != want {
+		t.Errorf("RenderGrid = %q, want %q", out, want)
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.DistanceTo(q); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if s := q.String(); s != "(3.00, 4.00)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

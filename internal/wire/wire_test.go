@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"slpdas/internal/topo"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data := Marshal(m)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%v): %v", m, err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &Hello{From: 42}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDissemRoundTrip(t *testing.T) {
+	in := &Dissem{
+		From:   7,
+		Normal: true,
+		Parent: topo.None,
+		Infos: []NodeInfo{
+			{Node: 7, Hop: 2, Slot: 55, Version: 3},
+			{Node: 8, Hop: NoSlot, Slot: NoSlot, Version: 0},
+			{Node: 120, Hop: 19, Slot: 1, Version: 91},
+		},
+	}
+	out := roundTrip(t, in)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDissemEmptyInfos(t *testing.T) {
+	in := &Dissem{From: 1, Normal: false, Parent: 0, Infos: []NodeInfo{}}
+	out := roundTrip(t, in).(*Dissem)
+	if len(out.Infos) != 0 {
+		t.Errorf("Infos = %v, want empty", out.Infos)
+	}
+	if out.Normal {
+		t.Error("Normal = true, want false")
+	}
+}
+
+func TestSearchChangeDataRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Search{From: 60, ANode: 49, Dist: 3, TTL: 20},
+		&Search{From: 0, ANode: topo.None, Dist: 0, TTL: 0},
+		&Change{From: 13, ANode: 14, NSlot: -5, Dist: 7},
+		&Data{From: 3, Origin: 0, Seq: 4000000000, Count: 65535},
+	}
+	for _, in := range msgs {
+		out := roundTrip(t, in)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty frame: err = %v, want ErrTruncated", err)
+	}
+	if _, err := Unmarshal([]byte{0xEE, 1, 2}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: err = %v, want ErrUnknownType", err)
+	}
+	// Truncate every valid frame at every length and require a clean error.
+	frames := [][]byte{
+		Marshal(&Hello{From: 300}),
+		Marshal(&Dissem{From: 1, Normal: true, Parent: 2, Infos: []NodeInfo{{Node: 3, Hop: 4, Slot: 5, Version: 6}}}),
+		Marshal(&Search{From: 1, ANode: 2, Dist: 3, TTL: 4}),
+		Marshal(&Change{From: 1, ANode: 2, NSlot: 3, Dist: 4}),
+		Marshal(&Data{From: 1, Origin: 2, Seq: 3, Count: 4}),
+	}
+	for _, frame := range frames {
+		for cut := 1; cut < len(frame); cut++ {
+			if _, err := Unmarshal(frame[:cut]); err == nil {
+				t.Errorf("truncated frame %v at %d decoded without error", frame, cut)
+			}
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	frame := Marshal(&Hello{From: 1})
+	frame = append(frame, 0x00)
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrTrailingBytes) {
+		t.Errorf("trailing bytes: err = %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestCorruptInfoCountRejected(t *testing.T) {
+	// Hand-craft a DISSEM with an absurd info count.
+	buf := []byte{byte(TypeDissem)}
+	buf = appendInt(buf, 1)      // from
+	buf = appendBool(buf, true)  // normal
+	buf = appendInt(buf, 2)      // parent
+	buf = appendUint(buf, 1<<40) // count, way past sanity bound
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("absurd info count decoded without error")
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	m := &Dissem{From: 9, Infos: make([]NodeInfo, 10)}
+	if Size(m) != len(Marshal(m)) {
+		t.Errorf("Size = %d, Marshal len = %d", Size(m), len(Marshal(m)))
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeHello:  "HELLO",
+		TypeDissem: "DISSEM",
+		TypeSearch: "SEARCH",
+		TypeChange: "CHANGE",
+		TypeData:   "DATA",
+		Type(200):  "TYPE(200)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+// quick generators for property-based round-trip checks.
+
+func randomNodeInfo(r *rand.Rand) NodeInfo {
+	return NodeInfo{
+		Node:    topo.NodeID(r.Int31n(1000) - 1),
+		Hop:     r.Int31n(64) - 1,
+		Slot:    r.Int31n(200) - 1,
+		Version: r.Uint32(),
+	}
+}
+
+func TestQuickDissemRoundTrip(t *testing.T) {
+	f := func(from int32, normal bool, parent int32, nInfos uint8, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := &Dissem{
+			From:   topo.NodeID(from),
+			Normal: normal,
+			Parent: topo.NodeID(parent),
+			Infos:  make([]NodeInfo, 0, nInfos%32),
+		}
+		for i := 0; i < int(nInfos%32); i++ {
+			in.Infos = append(in.Infos, randomNodeInfo(r))
+		}
+		out, err := Unmarshal(Marshal(in))
+		if err != nil {
+			return false
+		}
+		got := out.(*Dissem)
+		if len(in.Infos) == 0 {
+			// reflect.DeepEqual distinguishes nil and empty slices.
+			return got.From == in.From && got.Normal == in.Normal &&
+				got.Parent == in.Parent && len(got.Infos) == 0
+		}
+		return reflect.DeepEqual(in, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScalarMessagesRoundTrip(t *testing.T) {
+	f := func(a, b, c, d int32, seq uint32, count uint16) bool {
+		msgs := []Message{
+			&Hello{From: topo.NodeID(a)},
+			&Search{From: topo.NodeID(a), ANode: topo.NodeID(b), Dist: c, TTL: d},
+			&Change{From: topo.NodeID(a), ANode: topo.NodeID(b), NSlot: c, Dist: d},
+			&Data{From: topo.NodeID(a), Origin: topo.NodeID(b), Seq: seq, Count: count},
+		}
+		for _, in := range msgs {
+			out, err := Unmarshal(Marshal(in))
+			if err != nil || !reflect.DeepEqual(in, out) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

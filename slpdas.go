@@ -1,0 +1,235 @@
+package slpdas
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"slpdas/internal/attacker"
+	"slpdas/internal/core"
+	"slpdas/internal/experiment"
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+	"slpdas/internal/verify"
+)
+
+// Protocol selects which DAS variant to simulate.
+type Protocol string
+
+// Supported protocols.
+const (
+	// Protectionless is the baseline DAS of Figure 2.
+	Protectionless Protocol = "protectionless"
+	// SLPAware is the 3-phase SLP-aware DAS of Figures 2-4.
+	SLPAware Protocol = "slp"
+)
+
+// SimConfig configures a batch of simulation runs through the facade.
+// Zero values select the paper's defaults (Table I, 11×11 grid, the
+// (1,0,1,sink,first-heard) attacker, ideal channel).
+type SimConfig struct {
+	GridSize       int      // grid side; default 11
+	Protocol       Protocol // default Protectionless
+	SearchDistance int      // SD; default 3 (SLP only)
+	Repeats        int      // default 1
+	Seed           uint64   // base seed; run r uses Seed + r
+	AttackerR      int      // default 1
+	AttackerH      int      // default 0
+	AttackerM      int      // default 1
+	// LossModel: "ideal" (default), "bernoulli:<p>" or "rssi".
+	LossModel string
+	// Collisions enables receiver-side collision corruption.
+	Collisions bool
+	Workers    int // parallel runs; default GOMAXPROCS
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.GridSize == 0 {
+		c.GridSize = 11
+	}
+	if c.Protocol == "" {
+		c.Protocol = Protectionless
+	}
+	if c.SearchDistance == 0 {
+		c.SearchDistance = 3
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 1
+	}
+	if c.AttackerR == 0 {
+		c.AttackerR = 1
+	}
+	if c.AttackerM == 0 {
+		c.AttackerM = 1
+	}
+	if c.LossModel == "" {
+		c.LossModel = "ideal"
+	}
+	return c
+}
+
+func (c SimConfig) coreConfig() (core.Config, error) {
+	var cfg core.Config
+	switch c.Protocol {
+	case Protectionless:
+		cfg = core.Default()
+	case SLPAware:
+		cfg = core.DefaultSLP(c.SearchDistance)
+	default:
+		return core.Config{}, fmt.Errorf("slpdas: unknown protocol %q", c.Protocol)
+	}
+	cfg.Attacker = attacker.Params{R: c.AttackerR, H: c.AttackerH, M: c.AttackerM}
+	cfg.Collisions = c.Collisions
+	loss, err := ParseLossModel(c.LossModel)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Loss = loss
+	return cfg, nil
+}
+
+// ParseLossModel parses "ideal", "bernoulli:<p>" or "rssi".
+func ParseLossModel(s string) (radio.LossModel, error) {
+	switch {
+	case s == "" || s == "ideal":
+		return radio.Ideal{}, nil
+	case s == "rssi":
+		return radio.DefaultRSSINoise(), nil
+	case strings.HasPrefix(s, "bernoulli:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "bernoulli:"), 64)
+		if err != nil || p < 0 || p >= 1 {
+			return nil, fmt.Errorf("slpdas: bad bernoulli probability in %q", s)
+		}
+		return radio.Bernoulli{P: p}, nil
+	default:
+		return nil, fmt.Errorf("slpdas: unknown loss model %q", s)
+	}
+}
+
+// CaptureSummary is the aggregate outcome of a batch of runs.
+type CaptureSummary struct {
+	Protocol           Protocol
+	GridSize           int
+	Runs               int
+	Captures           int
+	CaptureRatio       float64 // in [0, 1]
+	CaptureRatioCI95   float64 // half-width
+	MeanCapturePeriods float64 // over captured runs
+	ScheduleValidRatio float64
+	ControlMessages    float64 // mean per run
+	ControlBytes       float64 // mean per run
+	ChangedNodes       float64 // mean per run (SLP)
+}
+
+// Run executes cfg.Repeats independent simulations and aggregates them.
+func Run(cfg SimConfig) (CaptureSummary, error) {
+	cfg = cfg.withDefaults()
+	coreCfg, err := cfg.coreConfig()
+	if err != nil {
+		return CaptureSummary{}, err
+	}
+	agg, err := experiment.Run(experiment.Spec{
+		GridSize: cfg.GridSize,
+		Config:   coreCfg,
+		Repeats:  cfg.Repeats,
+		BaseSeed: cfg.Seed,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return CaptureSummary{}, err
+	}
+	return CaptureSummary{
+		Protocol:           cfg.Protocol,
+		GridSize:           cfg.GridSize,
+		Runs:               agg.CaptureRatio.Trials,
+		Captures:           agg.CaptureRatio.Successes,
+		CaptureRatio:       agg.CaptureRatio.Value(),
+		CaptureRatioCI95:   agg.CaptureRatio.CI95(),
+		MeanCapturePeriods: agg.CapturePeriods.Mean,
+		ScheduleValidRatio: agg.ScheduleValid.Value(),
+		ControlMessages:    agg.ControlMessages.Mean,
+		ControlBytes:       agg.ControlBytes.Mean,
+		ChangedNodes:       agg.ChangedNodes.Mean,
+	}, nil
+}
+
+// Figure5 reproduces Figure 5 for the given search distance: capture
+// ratio vs network size for both protocols, rendered as a table.
+func Figure5(searchDistance, repeats int, seed uint64, sizes ...int) (string, *experiment.Figure5, error) {
+	fig, err := experiment.RunFigure5(experiment.Figure5Spec{
+		GridSizes:      sizes,
+		SearchDistance: searchDistance,
+		Repeats:        repeats,
+		BaseSeed:       seed,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return fig.Table().String(), fig, nil
+}
+
+// TableI renders the paper's parameter table from the live defaults.
+func TableI() string {
+	return experiment.TableI().String()
+}
+
+// Overhead reproduces the message-overhead comparison on one grid size.
+func Overhead(gridSize, searchDistance, repeats int, seed uint64) (string, *experiment.OverheadComparison, error) {
+	o, err := experiment.RunOverhead(gridSize, searchDistance, repeats, seed, 0)
+	if err != nil {
+		return "", nil, err
+	}
+	return o.Table().String(), o, nil
+}
+
+// VerifyOutcome is the result of checking a simulated schedule with the
+// paper's Algorithm 1.
+type VerifyOutcome struct {
+	SLPAware       bool
+	Counterexample []int // node IDs of the violating attacker trace
+	CapturePeriod  int
+	SafetyPeriod   int // δ in periods
+	StatesExplored int
+}
+
+// VerifyGrid runs the distributed protocol's setup phases on a grid, then
+// decides δ-SLP-awareness of the resulting schedule for the paper's
+// placement (source top-left, sink centre) against a (R,H,M,sink)
+// attacker with the first-heard decision rule.
+func VerifyGrid(cfg SimConfig) (VerifyOutcome, error) {
+	cfg = cfg.withDefaults()
+	coreCfg, err := cfg.coreConfig()
+	if err != nil {
+		return VerifyOutcome{}, err
+	}
+	g, err := topo.DefaultGrid(cfg.GridSize)
+	if err != nil {
+		return VerifyOutcome{}, err
+	}
+	sink, source := topo.GridCentre(cfg.GridSize), topo.GridTopLeft()
+	net, err := core.NewNetwork(g, sink, source, coreCfg, cfg.Seed)
+	if err != nil {
+		return VerifyOutcome{}, err
+	}
+	assignment, err := net.RunSetup()
+	if err != nil {
+		return VerifyOutcome{}, err
+	}
+	delta := int(net.SafetyPeriods())
+	res, err := verify.VerifySchedule(g, assignment,
+		verify.Params{R: cfg.AttackerR, H: cfg.AttackerH, M: cfg.AttackerM, Start: sink},
+		verify.FirstHeardD, delta, source, verify.Options{})
+	if err != nil {
+		return VerifyOutcome{}, err
+	}
+	out := VerifyOutcome{
+		SLPAware:       res.SLPAware,
+		CapturePeriod:  res.CapturePeriod,
+		SafetyPeriod:   delta,
+		StatesExplored: res.StatesExplored,
+	}
+	for _, n := range res.Counterexample {
+		out.Counterexample = append(out.Counterexample, int(n))
+	}
+	return out, nil
+}
