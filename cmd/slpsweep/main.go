@@ -1,0 +1,227 @@
+// Command slpsweep runs a full experimental campaign — the Cartesian
+// product of topology, protocol, search-distance, attacker, loss-model
+// and collision axes — through one shared worker pool, streaming one
+// result row per cell to a JSONL or CSV sink. The paper's whole
+// evaluation is one invocation:
+//
+//	slpsweep -sizes 11,15,21 -protocols protectionless,slp -sd 3 \
+//	         -repeats 100 -out fig5a.jsonl
+//
+// Output is deterministic: the same flags and seed produce byte-identical
+// rows, regardless of -workers. Progress goes to stderr; suppress it with
+// -quiet.
+//
+// Usage:
+//
+//	slpsweep [-sizes 7,11] [-topologies grid|line:<n>|ring:<n>|rgg:<n>#<seed>,...]
+//	         [-protocols protectionless,slp] [-sd 1,3]
+//	         [-attackers R,H,M[;R,H,M...]] [-loss ideal,bernoulli:<p>,rssi]
+//	         [-collisions false,true] [-repeats N] [-seed S] [-workers W]
+//	         [-out results.jsonl] [-format jsonl|csv] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"slpdas"
+	"slpdas/internal/attacker"
+	"slpdas/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("slpsweep", flag.ContinueOnError)
+	sizesArg := fs.String("sizes", "11", "comma-separated grid sides for the topology axis")
+	topoArg := fs.String("topologies", "", "explicit topology axis overriding -sizes: grid, line:<n>, ring:<n>, rgg:<n>#<seed> (comma-separated; plain \"grid\" expands -sizes)")
+	protoArg := fs.String("protocols", "protectionless,slp", "comma-separated protocol axis")
+	sdArg := fs.String("sd", "3", "comma-separated search distances")
+	atkArg := fs.String("attackers", "1,0,1", "semicolon-separated attacker R,H,M tuples")
+	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p>, rssi")
+	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
+	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	workers := fs.Int("workers", 0, "total concurrent simulations (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "output file (empty = stdout)")
+	format := fs.String("format", "", "jsonl or csv (default: from -out extension, else jsonl)")
+	quiet := fs.Bool("quiet", false, "suppress progress reporting on stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *lossArg, *collArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
+		return 2
+	}
+	spec.Repeats = *repeats
+	spec.BaseSeed = *seed
+	spec.Workers = *workers
+	if !*quiet {
+		spec.Progress = func(done, total int, row campaign.Row) {
+			fmt.Fprintf(os.Stderr, "slpsweep: cell %d/%d %s %s sd=%d: capture %.1f%% (%d/%d runs)\n",
+				done, total, row.Topology, row.Protocol, row.SearchDistance,
+				row.CaptureRatio*100, row.Captures, row.Runs)
+		}
+	}
+
+	newSink := map[string]func(io.Writer) campaign.Sink{
+		"jsonl": func(w io.Writer) campaign.Sink { return campaign.NewJSONL(w) },
+		"csv":   func(w io.Writer) campaign.Sink { return campaign.NewCSV(w) },
+	}[resolveFormat(*format, *out)]
+	if newSink == nil {
+		fmt.Fprintf(os.Stderr, "slpsweep: unknown -format %q (want jsonl or csv)\n", *format)
+		return 2
+	}
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
+			return 1
+		}
+		outFile = f
+		w = f
+	}
+	sink := newSink(w)
+
+	sum, err := slpdas.RunCampaign(spec, sink)
+	if cerr := sink.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	// A failed close can drop buffered rows; it must fail the run.
+	if outFile != nil {
+		if cerr := outFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "slpsweep: %d cells done, %d run failures\n", sum.Cells, sum.Failures)
+	}
+	return 0
+}
+
+func resolveFormat(format, out string) string {
+	if format != "" {
+		return format
+	}
+	if strings.HasSuffix(out, ".csv") {
+		return "csv"
+	}
+	return "jsonl"
+}
+
+func buildSpec(sizes, topologies, protocols, sds, attackers, losses, collisions string) (campaign.Spec, error) {
+	var spec campaign.Spec
+	var err error
+	if spec.GridSizes, err = parseInts(sizes); err != nil {
+		return spec, fmt.Errorf("-sizes: %w", err)
+	}
+	if spec.Topologies, err = parseTopologies(topologies, spec.GridSizes); err != nil {
+		return spec, fmt.Errorf("-topologies: %w", err)
+	}
+	spec.Protocols = splitList(protocols)
+	if spec.SearchDistances, err = parseInts(sds); err != nil {
+		return spec, fmt.Errorf("-sd: %w", err)
+	}
+	if spec.Attackers, err = parseAttackers(attackers); err != nil {
+		return spec, fmt.Errorf("-attackers: %w", err)
+	}
+	spec.LossModels = splitList(losses)
+	for _, c := range splitList(collisions) {
+		b, err := strconv.ParseBool(c)
+		if err != nil {
+			return spec, fmt.Errorf("-collisions: bad value %q", c)
+		}
+		spec.Collisions = append(spec.Collisions, b)
+	}
+	return spec, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseAttackers parses "R,H,M" tuples separated by semicolons.
+func parseAttackers(s string) ([]attacker.Params, error) {
+	var out []attacker.Params
+	for _, tuple := range strings.Split(s, ";") {
+		if tuple = strings.TrimSpace(tuple); tuple == "" {
+			continue
+		}
+		fields, err := parseInts(tuple)
+		if err != nil || len(fields) != 3 {
+			return nil, fmt.Errorf("bad attacker tuple %q (want R,H,M)", tuple)
+		}
+		out = append(out, attacker.Params{R: fields[0], H: fields[1], M: fields[2]})
+	}
+	return out, nil
+}
+
+// parseTopologies parses the explicit topology axis. Plain "grid" expands
+// to one grid per -sizes entry; other entries are kind:<n> with an
+// optional #<seed> placement seed for rgg.
+func parseTopologies(s string, gridSizes []int) ([]campaign.TopologySpec, error) {
+	if s == "" {
+		return nil, nil // let the spec derive the axis from GridSizes
+	}
+	var out []campaign.TopologySpec
+	for _, p := range splitList(s) {
+		if p == "grid" {
+			for _, size := range gridSizes {
+				out = append(out, campaign.TopologySpec{Kind: campaign.KindGrid, Size: size})
+			}
+			continue
+		}
+		kind, rest, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad topology %q (want kind:<n>)", p)
+		}
+		sizeStr, seedStr, hasSeed := strings.Cut(rest, "#")
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad topology size in %q", p)
+		}
+		ts := campaign.TopologySpec{Kind: campaign.TopologyKind(kind), Size: size}
+		if hasSeed {
+			if ts.Seed, err = strconv.ParseUint(seedStr, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad topology seed in %q", p)
+			}
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}

@@ -14,11 +14,17 @@
 //   - the formal schedule properties of Definitions 1–3
 //     (internal/schedule) and the evaluation harness reproducing
 //     Figure 5, Table I and the message-overhead claim
-//     (internal/experiment).
+//     (internal/experiment);
+//   - a campaign engine (internal/campaign) that expands declarative
+//     axes — topologies, protocols, search distances, attackers, loss
+//     models, collisions — into the full Cartesian job matrix, runs it
+//     through one shared worker pool and streams per-cell rows to JSONL
+//     or CSV sinks, driven from the command line by cmd/slpsweep.
 //
 // This package is the stable facade: simulation entry points, the
-// per-figure reproduction helpers used by cmd/slpsim, and schedule
-// verification. The examples/ directory shows typical use; DESIGN.md maps
-// every paper artefact to the module implementing it and EXPERIMENTS.md
-// records reproduced-versus-published numbers.
+// per-figure reproduction helpers used by cmd/slpsim, campaign execution
+// (RunCampaign), and schedule verification. The examples/ directory shows
+// typical use; DESIGN.md maps every paper artefact to the module
+// implementing it and EXPERIMENTS.md records reproduced-versus-published
+// numbers with the commands that regenerate them.
 package slpdas

@@ -1,0 +1,3 @@
+module slpdas
+
+go 1.22

@@ -1,0 +1,357 @@
+// Package campaign is the sweep engine above internal/experiment: it
+// expands a declarative Spec — axes of topologies, protocols, search
+// distances, attacker strengths, loss models and collision settings —
+// into the full Cartesian job matrix of experimental cells, executes every
+// repeat of every cell through one shared bounded worker pool, and streams
+// one summary Row per cell to pluggable sinks (JSONL, CSV, in-memory) as
+// cells complete. The whole of the paper's evaluation (Figure 5, Table I
+// defaults, the overhead claim) is one Spec; so are the scenario grids of
+// the broader SLP literature (sector phantom routing, private aggregation
+// surveys) that sweep attacker and topology parameters far wider.
+//
+// Determinism: cell c repeat r runs on seed BaseSeed + c·Repeats + r, so
+// a campaign's output is a pure function of its Spec regardless of worker
+// count or scheduling. Rows are emitted in cell-index order.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slpdas/internal/attacker"
+	"slpdas/internal/core"
+	"slpdas/internal/experiment"
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+)
+
+// Protocol names accepted on the Protocols axis.
+const (
+	Protectionless = "protectionless"
+	SLPAware       = "slp"
+)
+
+// Spec declares a campaign: every non-empty axis slice multiplies the job
+// matrix. Zero values select the paper's defaults (11×11 grid, both
+// protocols, SD 3, the (1,0,1) attacker, ideal channel, no collisions).
+type Spec struct {
+	// GridSizes is the convenience topology axis: one square grid per
+	// size, source top-left and sink centre as §VI-A. Default {11}.
+	GridSizes []int
+	// Topologies, when non-empty, replaces GridSizes as the topology axis
+	// and admits non-grid layouts from internal/topo/builders.go.
+	Topologies []TopologySpec
+	// Protocols is the protocol axis. Default both protocols.
+	Protocols []string
+	// SearchDistances is the SD axis. It multiplies every protocol cell
+	// (the coordinate is recorded but inert for protectionless DAS, so
+	// the matrix stays a full Cartesian product). Default {3}.
+	SearchDistances []int
+	// Attackers is the (R, H, M) axis; Start is always the sink. Default
+	// the paper's (1, 0, 1).
+	Attackers []attacker.Params
+	// LossModels is the channel axis: "ideal", "bernoulli:<p>", "rssi".
+	// Default {"ideal"}.
+	LossModels []string
+	// Collisions is the receiver-side collision axis. Default {false}.
+	Collisions []bool
+
+	// Repeats is the number of independent simulations per cell.
+	// Default 10.
+	Repeats int
+	// BaseSeed anchors the campaign's seed space; see the package comment
+	// for the per-cell layout.
+	BaseSeed uint64
+	// Workers bounds the total number of concurrently running simulations
+	// across all cells (0 = GOMAXPROCS). Cells do not get pools of their
+	// own, so a campaign never oversubscribes the machine.
+	Workers int
+	// Progress, when non-nil, is called after each cell's row has been
+	// written to every sink, in cell order, from a single goroutine.
+	Progress func(done, total int, row Row)
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.GridSizes) == 0 {
+		s.GridSizes = []int{11}
+	}
+	if len(s.Protocols) == 0 {
+		s.Protocols = []string{Protectionless, SLPAware}
+	}
+	if len(s.SearchDistances) == 0 {
+		s.SearchDistances = []int{3}
+	}
+	if len(s.Attackers) == 0 {
+		s.Attackers = []attacker.Params{{R: 1, H: 0, M: 1}}
+	}
+	if len(s.LossModels) == 0 {
+		s.LossModels = []string{"ideal"}
+	}
+	if len(s.Collisions) == 0 {
+		s.Collisions = []bool{false}
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 10
+	}
+	return s
+}
+
+func (s Spec) topologyAxis() []TopologySpec {
+	if len(s.Topologies) > 0 {
+		return s.Topologies
+	}
+	axis := make([]TopologySpec, 0, len(s.GridSizes))
+	for _, size := range s.GridSizes {
+		axis = append(axis, TopologySpec{Kind: KindGrid, Size: size})
+	}
+	return axis
+}
+
+// Cell is one point of the expanded job matrix: the full coordinates plus
+// the seed range its repeats run on.
+type Cell struct {
+	Index          int
+	Topology       TopologySpec
+	Protocol       string
+	SearchDistance int
+	Attacker       attacker.Params
+	LossModel      string
+	Collisions     bool
+	Repeats        int
+	BaseSeed       uint64 // repeat r runs on BaseSeed + r
+}
+
+func (c Cell) config() (core.Config, error) {
+	return BuildConfig(c.Protocol, c.SearchDistance, c.Attacker, c.LossModel, c.Collisions)
+}
+
+// BuildConfig maps one cell's coordinates — protocol name, search
+// distance, attacker tuple, loss model, collisions — onto a validated
+// core.Config. It is the single protocol-name switch shared by the
+// campaign engine and the slpdas facade.
+func BuildConfig(protocol string, searchDistance int, atk attacker.Params, lossModel string, collisions bool) (core.Config, error) {
+	var cfg core.Config
+	switch protocol {
+	case Protectionless:
+		cfg = core.Default()
+	case SLPAware:
+		cfg = core.DefaultSLP(searchDistance)
+	default:
+		return core.Config{}, fmt.Errorf("campaign: unknown protocol %q", protocol)
+	}
+	cfg.Attacker = atk
+	cfg.Collisions = collisions
+	loss, err := radio.ParseLossModel(lossModel)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Loss = loss
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Expand materialises the job matrix: the Cartesian product of all axes,
+// with defaults applied, in a deterministic order (topology outermost,
+// collisions innermost). Repeats and the per-cell seed ranges are fixed
+// here, so Expand alone determines every seed a campaign will run.
+func (s Spec) Expand() ([]Cell, error) {
+	s = s.withDefaults()
+	if s.Repeats < 0 {
+		return nil, fmt.Errorf("campaign: repeats must be positive, got %d", s.Repeats)
+	}
+	var cells []Cell
+	for _, top := range s.topologyAxis() {
+		for _, proto := range s.Protocols {
+			if proto != Protectionless && proto != SLPAware {
+				return nil, fmt.Errorf("campaign: unknown protocol %q", proto)
+			}
+			for _, sd := range s.SearchDistances {
+				for _, atk := range s.Attackers {
+					for _, loss := range s.LossModels {
+						for _, coll := range s.Collisions {
+							idx := len(cells)
+							cells = append(cells, Cell{
+								Index:          idx,
+								Topology:       top,
+								Protocol:       proto,
+								SearchDistance: sd,
+								Attacker:       atk,
+								LossModel:      loss,
+								Collisions:     coll,
+								Repeats:        s.Repeats,
+								BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Summary is the in-memory outcome of a campaign.
+type Summary struct {
+	Cells    int
+	Rows     []Row
+	Failures int // individual runs that errored, across all cells
+}
+
+// runner executes one repeat; tests substitute it to instrument the pool.
+type runner func(g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed uint64) (*core.Result, error)
+
+// resolvedCell pairs a cell with its materialised topology and config.
+type resolvedCell struct {
+	cell   Cell
+	g      *topo.Graph
+	sink   topo.NodeID
+	source topo.NodeID
+	cfg    core.Config
+}
+
+// Run expands the spec and executes every cell, streaming one Row per
+// cell to each sink in cell-index order as results become available.
+// Failed runs are counted per row (and in Summary.Failures); the first
+// run error is returned alongside the summary of everything that
+// completed, mirroring experiment.Run's convention.
+func Run(spec Spec, sinks ...Sink) (*Summary, error) {
+	return run(spec, experiment.RunSingle, sinks...)
+}
+
+func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
+	spec = spec.withDefaults()
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return &Summary{}, nil
+	}
+
+	// Resolve every topology and config up front so a bad axis value
+	// fails before any simulation starts. Topologies are cached by spec:
+	// graphs are immutable, so cells share them across the pool.
+	graphs := make(map[TopologySpec]*builtTopology, len(cells))
+	resolved := make([]resolvedCell, len(cells))
+	for i, c := range cells {
+		bt, ok := graphs[c.Topology]
+		if !ok {
+			bt, err = c.Topology.build()
+			if err != nil {
+				return nil, err
+			}
+			graphs[c.Topology] = bt
+		}
+		cfg, err := c.config()
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = resolvedCell{cell: c, g: bt.g, sink: bt.sink, source: bt.source, cfg: cfg}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(cells) * spec.Repeats; workers > total {
+		workers = total
+	}
+
+	// One shared pool over every (cell, repeat) job. Results land in
+	// per-cell slices by repeat index, so aggregation order — and hence
+	// the emitted rows — is independent of scheduling.
+	results := make([][]*core.Result, len(cells))
+	errs := make([][]error, len(cells))
+	remaining := make([]atomic.Int32, len(cells))
+	done := make([]chan struct{}, len(cells))
+	for i := range cells {
+		results[i] = make([]*core.Result, spec.Repeats)
+		errs[i] = make([]error, spec.Repeats)
+		remaining[i].Store(int32(spec.Repeats))
+		done[i] = make(chan struct{})
+	}
+
+	type job struct{ cell, rep int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rc := resolved[j.cell]
+				seed := rc.cell.BaseSeed + uint64(j.rep)
+				res, err := exec(rc.g, rc.sink, rc.source, rc.cfg, seed)
+				if err != nil {
+					errs[j.cell][j.rep] = fmt.Errorf("campaign: cell %d seed %d: %w", j.cell, seed, err)
+				} else {
+					results[j.cell][j.rep] = res
+				}
+				if remaining[j.cell].Add(-1) == 0 {
+					close(done[j.cell])
+				}
+			}
+		}()
+	}
+	go func() {
+		for c := range cells {
+			for r := 0; r < spec.Repeats; r++ {
+				jobs <- job{cell: c, rep: r}
+			}
+		}
+		close(jobs)
+	}()
+
+	// Emit rows in cell order as cells finish; earlier cells gate later
+	// ones only at the sink, not in the pool.
+	sum := &Summary{Cells: len(cells)}
+	var firstErr error
+	for i := range cells {
+		<-done[i]
+		rc := resolved[i]
+		agg := experiment.AggregateResults(experiment.Spec{
+			GridSize: rc.cell.Topology.gridSize(),
+			Topology: rc.g,
+			Sink:     rc.sink,
+			Source:   rc.source,
+			Config:   rc.cfg,
+			Repeats:  rc.cell.Repeats,
+			BaseSeed: rc.cell.BaseSeed,
+		}, rc.g, results[i])
+		for _, e := range errs[i] {
+			if e != nil {
+				agg.Failures++
+				if firstErr == nil {
+					firstErr = e
+				}
+			}
+		}
+		// Release the cell's raw results so a long campaign's memory is
+		// bounded by in-flight cells, not total runs.
+		results[i], errs[i] = nil, nil
+		row := makeRow(rc.cell, rc.g, agg)
+		sum.Rows = append(sum.Rows, row)
+		sum.Failures += agg.Failures
+		for _, snk := range sinks {
+			if err := snk.Write(row); err != nil {
+				// A sink failure is fatal: the stream's contract is one
+				// row per cell, so drain the pool and stop.
+				go func() {
+					for range jobs {
+					}
+				}()
+				wg.Wait()
+				return sum, fmt.Errorf("campaign: sink: %w", err)
+			}
+		}
+		if spec.Progress != nil {
+			spec.Progress(i+1, len(cells), row)
+		}
+	}
+	wg.Wait()
+	return sum, firstErr
+}

@@ -1,0 +1,247 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+
+	"slpdas/internal/experiment"
+	"slpdas/internal/topo"
+)
+
+// Row is one streamed result record: the cell's full matrix coordinates
+// followed by the Aggregate summary fields. Field order is the JSONL and
+// CSV column order; values are finite (NaNs from empty samples become 0
+// with the corresponding count field showing why).
+type Row struct {
+	Cell           int    `json:"cell"`
+	Topology       string `json:"topology"`
+	GridSize       int    `json:"grid_size"` // 0 for non-grid topologies
+	Nodes          int    `json:"nodes"`
+	Protocol       string `json:"protocol"`
+	SearchDistance int    `json:"search_distance"`
+	AttackerR      int    `json:"attacker_r"`
+	AttackerH      int    `json:"attacker_h"`
+	AttackerM      int    `json:"attacker_m"`
+	LossModel      string `json:"loss_model"`
+	Collisions     bool   `json:"collisions"`
+	Repeats        int    `json:"repeats"`
+	BaseSeed       uint64 `json:"base_seed"`
+
+	Runs               int     `json:"runs"` // repeats that completed
+	Failures           int     `json:"failures"`
+	Captures           int     `json:"captures"`
+	CaptureRatio       float64 `json:"capture_ratio"`
+	CaptureRatioCI95   float64 `json:"capture_ratio_ci95"`
+	MeanCapturePeriods float64 `json:"mean_capture_periods"`
+	ScheduleValidRatio float64 `json:"schedule_valid_ratio"`
+	ControlMessages    float64 `json:"control_messages"`
+	ControlBytes       float64 `json:"control_bytes"`
+	TotalMessages      float64 `json:"total_messages"`
+	ChangedNodes       float64 `json:"changed_nodes"`
+	SourceDeliveries   float64 `json:"source_deliveries"`
+	DeliveryLatency    float64 `json:"delivery_latency_slots"`
+}
+
+// fin maps the NaN of an empty sample to 0 so rows stay JSON-encodable.
+func fin(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
+	return Row{
+		Cell:           c.Index,
+		Topology:       c.Topology.Label(),
+		GridSize:       c.Topology.gridSize(),
+		Nodes:          g.Len(),
+		Protocol:       c.Protocol,
+		SearchDistance: c.SearchDistance,
+		AttackerR:      c.Attacker.R,
+		AttackerH:      c.Attacker.H,
+		AttackerM:      c.Attacker.M,
+		LossModel:      c.LossModel,
+		Collisions:     c.Collisions,
+		Repeats:        c.Repeats,
+		BaseSeed:       c.BaseSeed,
+
+		Runs:               agg.CaptureRatio.Trials,
+		Failures:           agg.Failures,
+		Captures:           agg.CaptureRatio.Successes,
+		CaptureRatio:       fin(agg.CaptureRatio.Value()),
+		CaptureRatioCI95:   agg.CaptureRatio.CI95(),
+		MeanCapturePeriods: agg.CapturePeriods.Mean,
+		ScheduleValidRatio: fin(agg.ScheduleValid.Value()),
+		ControlMessages:    agg.ControlMessages.Mean,
+		ControlBytes:       agg.ControlBytes.Mean,
+		TotalMessages:      agg.TotalMessages.Mean,
+		ChangedNodes:       agg.ChangedNodes.Mean,
+		SourceDeliveries:   agg.SourceDeliveries.Mean,
+		DeliveryLatency:    agg.DeliveryLatency.Mean,
+	}
+}
+
+// Sink receives campaign rows as cells complete. Write is always called
+// from a single goroutine, in cell-index order; Close flushes any
+// buffering. Sinks do not own the underlying writer.
+type Sink interface {
+	Write(Row) error
+	Close() error
+}
+
+// JSONL streams rows as one JSON object per line — the resumable,
+// diffable format long campaigns should default to.
+type JSONL struct {
+	w *bufio.Writer
+}
+
+// NewJSONL wraps w in a buffered JSONL sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Write implements Sink. Each row is flushed immediately so an
+// interrupted campaign keeps every completed cell on disk.
+func (s *JSONL) Write(r Row) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Close implements Sink.
+func (s *JSONL) Close() error { return s.w.Flush() }
+
+// ReadJSONL parses rows written by JSONL, for resumption and diffing.
+func ReadJSONL(r io.Reader) ([]Row, error) {
+	var rows []Row
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var row Row
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("campaign: parse jsonl row %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// csvHeader is the CSV column order; it must match csvRecord.
+var csvHeader = []string{
+	"cell", "topology", "grid_size", "nodes", "protocol", "search_distance",
+	"attacker_r", "attacker_h", "attacker_m", "loss_model", "collisions",
+	"repeats", "base_seed", "runs", "failures", "captures", "capture_ratio",
+	"capture_ratio_ci95", "mean_capture_periods", "schedule_valid_ratio",
+	"control_messages", "control_bytes", "total_messages", "changed_nodes",
+	"source_deliveries", "delivery_latency_slots",
+}
+
+func csvRecord(r Row) []string {
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	return []string{
+		strconv.Itoa(r.Cell), r.Topology, strconv.Itoa(r.GridSize),
+		strconv.Itoa(r.Nodes), r.Protocol, strconv.Itoa(r.SearchDistance),
+		strconv.Itoa(r.AttackerR), strconv.Itoa(r.AttackerH), strconv.Itoa(r.AttackerM),
+		r.LossModel, strconv.FormatBool(r.Collisions),
+		strconv.Itoa(r.Repeats), strconv.FormatUint(r.BaseSeed, 10),
+		strconv.Itoa(r.Runs), strconv.Itoa(r.Failures), strconv.Itoa(r.Captures),
+		f(r.CaptureRatio), f(r.CaptureRatioCI95), f(r.MeanCapturePeriods),
+		f(r.ScheduleValidRatio), f(r.ControlMessages), f(r.ControlBytes),
+		f(r.TotalMessages), f(r.ChangedNodes), f(r.SourceDeliveries),
+		f(r.DeliveryLatency),
+	}
+}
+
+// CSV streams rows as CSV with a header, for spreadsheet/pandas use.
+type CSV struct {
+	w          *csv.Writer
+	wroteFirst bool
+}
+
+// NewCSV wraps w in a CSV sink; the header is written with the first row.
+func NewCSV(w io.Writer) *CSV {
+	return &CSV{w: csv.NewWriter(w)}
+}
+
+// Write implements Sink, flushing per row like JSONL.
+func (s *CSV) Write(r Row) error {
+	if !s.wroteFirst {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wroteFirst = true
+	}
+	if err := s.w.Write(csvRecord(r)); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Close implements Sink.
+func (s *CSV) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Memory accumulates rows in memory — the sink tests and examples use to
+// inspect a campaign without touching disk.
+type Memory struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+// Write implements Sink.
+func (s *Memory) Write(r Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, r)
+	return nil
+}
+
+// Close implements Sink.
+func (s *Memory) Close() error { return nil }
+
+// Rows returns a copy of everything written so far.
+func (s *Memory) Rows() []Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Row, len(s.rows))
+	copy(out, s.rows)
+	return out
+}
+
+// Multi fans every row out to several sinks, failing on the first error.
+type Multi []Sink
+
+// Write implements Sink.
+func (m Multi) Write(r Row) error {
+	for _, s := range m {
+		if err := s.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink; it closes every sink and returns the first error.
+func (m Multi) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

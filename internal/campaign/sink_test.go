@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{
+			Cell: 0, Topology: "grid-7x7", GridSize: 7, Nodes: 49,
+			Protocol: Protectionless, SearchDistance: 1,
+			AttackerR: 1, AttackerM: 1, LossModel: "ideal",
+			Repeats: 5, BaseSeed: 1, Runs: 5, Captures: 3,
+			CaptureRatio: 0.6, CaptureRatioCI95: 0.42,
+			MeanCapturePeriods: 12.5, ScheduleValidRatio: 1,
+			ControlMessages: 321, ControlBytes: 4567, TotalMessages: 1234,
+			SourceDeliveries: 20, DeliveryLatency: 3.25,
+		},
+		{
+			Cell: 1, Topology: "ring-30", Nodes: 30,
+			Protocol: SLPAware, SearchDistance: 3,
+			AttackerR: 2, AttackerH: 1, AttackerM: 2,
+			LossModel: "bernoulli:0.1", Collisions: true,
+			Repeats: 5, BaseSeed: 6, Runs: 4, Failures: 1,
+			ChangedNodes: 7,
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	rows := sampleRows()
+	for _, r := range rows {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(rows) {
+		t.Errorf("%d lines, want %d", got, len(rows))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(back, rows) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", back, rows)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"cell\":0}\nnot json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, r := range sampleRows() {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("%d records", len(recs))
+	}
+	if !reflect.DeepEqual(recs[0], csvHeader) {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Every record must be rectangular and the header must match the
+	// number of Row fields serialised.
+	for i, rec := range recs {
+		if len(rec) != len(csvHeader) {
+			t.Errorf("record %d has %d fields, want %d", i, len(rec), len(csvHeader))
+		}
+	}
+	if recs[1][1] != "grid-7x7" || recs[2][10] != "true" {
+		t.Errorf("rows = %v", recs[1:])
+	}
+}
+
+func TestCSVHeaderMatchesRowShape(t *testing.T) {
+	if nFields := reflect.TypeOf(Row{}).NumField(); len(csvHeader) != nFields {
+		t.Errorf("csvHeader has %d columns, Row has %d fields", len(csvHeader), nFields)
+	}
+	if got := len(csvRecord(Row{})); got != len(csvHeader) {
+		t.Errorf("csvRecord emits %d cells, header has %d", got, len(csvHeader))
+	}
+}
+
+func TestMultiSinkFansOutAndFails(t *testing.T) {
+	a, b := &Memory{}, &Memory{}
+	m := Multi{a, b}
+	if err := m.Write(Row{Cell: 9}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(a.Rows()) != 1 || len(b.Rows()) != 1 {
+		t.Errorf("fan-out missed a sink: %d, %d", len(a.Rows()), len(b.Rows()))
+	}
+	boom := errors.New("disk full")
+	m = Multi{failSink{boom}, a}
+	if err := m.Write(Row{}); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if len(a.Rows()) != 1 {
+		t.Errorf("write after failure reached later sink")
+	}
+}
+
+type failSink struct{ err error }
+
+func (f failSink) Write(Row) error { return f.err }
+func (f failSink) Close() error    { return f.err }
+
+func TestRunPropagatesSinkFailure(t *testing.T) {
+	boom := errors.New("sink broke")
+	_, err := run(Spec{GridSizes: []int{5}, Repeats: 2}, stubRun, failSink{boom})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want sink error", err)
+	}
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"slpdas/internal/topo"
+)
+
+// TopologyKind names a topology family from internal/topo/builders.go.
+type TopologyKind string
+
+// Supported topology kinds.
+const (
+	// KindGrid is the paper's square grid: source top-left, sink centre.
+	KindGrid TopologyKind = "grid"
+	// KindLine is a line: sink at the middle node, source at one end.
+	KindLine TopologyKind = "line"
+	// KindRing is a ring: sink and source diametrically opposite.
+	KindRing TopologyKind = "ring"
+	// KindRGG is a connected random geometric graph: sink at the node
+	// nearest the area centre, source at the hop-farthest node from it.
+	KindRGG TopologyKind = "rgg"
+)
+
+// TopologySpec declaratively names one topology cell of the matrix. It is
+// comparable, so the engine can cache built graphs across cells.
+type TopologySpec struct {
+	Kind TopologyKind
+	// Size is the grid side for KindGrid, the node count otherwise.
+	Size int
+	// Seed fixes node placement for KindRGG; ignored elsewhere. It is a
+	// layout coordinate, independent of the campaign's simulation seeds.
+	Seed uint64
+}
+
+// Label identifies the topology in result rows, e.g. "grid-11x11",
+// "ring-30", "rgg-40#7".
+func (t TopologySpec) Label() string {
+	switch t.Kind {
+	case KindGrid, "":
+		return fmt.Sprintf("grid-%dx%d", t.Size, t.Size)
+	case KindRGG:
+		return fmt.Sprintf("rgg-%d#%d", t.Size, t.Seed)
+	default:
+		return fmt.Sprintf("%s-%d", t.Kind, t.Size)
+	}
+}
+
+// gridSize returns the grid side for grid cells and 0 otherwise, feeding
+// the GridSize coordinate of rows and experiment.Spec.
+func (t TopologySpec) gridSize() int {
+	if t.Kind == KindGrid || t.Kind == "" {
+		return t.Size
+	}
+	return 0
+}
+
+// builtTopology is a materialised TopologySpec.
+type builtTopology struct {
+	g      *topo.Graph
+	sink   topo.NodeID
+	source topo.NodeID
+}
+
+func (t TopologySpec) build() (*builtTopology, error) {
+	switch t.Kind {
+	case KindGrid, "":
+		g, err := topo.DefaultGrid(t.Size)
+		if err != nil {
+			return nil, err
+		}
+		return &builtTopology{g: g, sink: topo.GridCentre(t.Size), source: topo.GridTopLeft()}, nil
+	case KindLine:
+		g, err := topo.Line(t.Size, topo.DefaultSpacing, topo.DefaultSpacing)
+		if err != nil {
+			return nil, err
+		}
+		return &builtTopology{g: g, sink: topo.NodeID(t.Size / 2), source: 0}, nil
+	case KindRing:
+		// Range 1.05× spacing keeps exactly two neighbours per node.
+		g, err := topo.Ring(t.Size, topo.DefaultSpacing, topo.DefaultSpacing*1.05)
+		if err != nil {
+			return nil, err
+		}
+		return &builtTopology{g: g, sink: topo.NodeID(t.Size / 2), source: 0}, nil
+	case KindRGG:
+		// Area scales with node count to hold density roughly constant;
+		// range 1.8× spacing makes connectivity likely at that density.
+		side := math.Sqrt(float64(t.Size)) * topo.DefaultSpacing
+		g, err := topo.RandomGeometric(t.Size, side, side, topo.DefaultSpacing*1.8, t.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sink := nearestTo(g, topo.Point{X: side / 2, Y: side / 2})
+		source := hopFarthest(g, sink)
+		return &builtTopology{g: g, sink: sink, source: source}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown topology kind %q", t.Kind)
+	}
+}
+
+func nearestTo(g *topo.Graph, p topo.Point) topo.NodeID {
+	best, bestDist := topo.NodeID(0), math.Inf(1)
+	for i := 0; i < g.Len(); i++ {
+		if d := g.Position(topo.NodeID(i)).DistanceTo(p); d < bestDist {
+			best, bestDist = topo.NodeID(i), d
+		}
+	}
+	return best
+}
+
+func hopFarthest(g *topo.Graph, from topo.NodeID) topo.NodeID {
+	dist := g.BFSFrom(from)
+	best, bestHops := from, -1
+	for i, d := range dist {
+		if d > bestHops {
+			best, bestHops = topo.NodeID(i), d
+		}
+	}
+	return best
+}

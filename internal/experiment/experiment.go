@@ -37,7 +37,10 @@ type Spec struct {
 	Workers int
 }
 
-func (s Spec) resolveTopology() (*topo.Graph, topo.NodeID, topo.NodeID, error) {
+// ResolveTopology materialises the spec's topology: the explicit graph
+// when set, otherwise the paper's default grid with sink at the centre and
+// source top-left.
+func (s Spec) ResolveTopology() (*topo.Graph, topo.NodeID, topo.NodeID, error) {
 	if s.Topology != nil {
 		return s.Topology, s.Sink, s.Source, nil
 	}
@@ -46,6 +49,25 @@ func (s Spec) resolveTopology() (*topo.Graph, topo.NodeID, topo.NodeID, error) {
 		return nil, 0, 0, err
 	}
 	return g, topo.GridCentre(s.GridSize), topo.GridTopLeft(), nil
+}
+
+// RunSingle executes one fully deterministic simulation of cfg on a
+// resolved topology at the given seed. It is the unit of work behind Run
+// and the campaign engine's shared worker pool.
+func RunSingle(g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed uint64) (*core.Result, error) {
+	net, err := core.NewNetwork(g, sink, source, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return net.Run()
+}
+
+// AggregateResults summarises already-computed per-run results of one
+// cell. Nil entries (failed runs) are skipped; callers account failures
+// separately. Exposed so external schedulers (internal/campaign) can run
+// repeats through their own pool and still share the aggregation logic.
+func AggregateResults(spec Spec, g *topo.Graph, results []*core.Result) *Aggregate {
+	return aggregate(spec, g, results)
 }
 
 // Aggregate is the summary of one experimental cell.
@@ -83,7 +105,7 @@ func Run(spec Spec) (*Aggregate, error) {
 	if spec.Repeats <= 0 {
 		return nil, fmt.Errorf("experiment: repeats must be positive, got %d", spec.Repeats)
 	}
-	g, sink, source, err := spec.resolveTopology()
+	g, sink, source, err := spec.ResolveTopology()
 	if err != nil {
 		return nil, err
 	}
@@ -105,12 +127,7 @@ func Run(spec Spec) (*Aggregate, error) {
 			defer wg.Done()
 			for r := range jobs {
 				seed := spec.BaseSeed + uint64(r)
-				net, err := core.NewNetwork(g, sink, source, spec.Config, seed)
-				if err != nil {
-					errs[r] = err
-					continue
-				}
-				res, err := net.Run()
+				res, err := RunSingle(g, sink, source, spec.Config, seed)
 				if err != nil {
 					errs[r] = fmt.Errorf("experiment: seed %d: %w", seed, err)
 					continue

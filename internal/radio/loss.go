@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strconv"
+	"strings"
 )
 
 // LossModel decides, per transmission and per link, whether a frame is lost
@@ -91,3 +93,23 @@ var (
 	_ LossModel = Bernoulli{}
 	_ LossModel = RSSINoise{}
 )
+
+// ParseLossModel parses the textual channel-model syntax shared by the
+// facade, the campaign engine and the CLIs: "ideal" (or ""),
+// "bernoulli:<p>" with p ∈ [0, 1), or "rssi".
+func ParseLossModel(s string) (LossModel, error) {
+	switch {
+	case s == "" || s == "ideal":
+		return Ideal{}, nil
+	case s == "rssi":
+		return DefaultRSSINoise(), nil
+	case strings.HasPrefix(s, "bernoulli:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "bernoulli:"), 64)
+		if err != nil || p < 0 || p >= 1 {
+			return nil, fmt.Errorf("radio: bad bernoulli probability in %q", s)
+		}
+		return Bernoulli{P: p}, nil
+	default:
+		return nil, fmt.Errorf("radio: unknown loss model %q", s)
+	}
+}

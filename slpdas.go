@@ -1,11 +1,8 @@
 package slpdas
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
 	"slpdas/internal/attacker"
+	"slpdas/internal/campaign"
 	"slpdas/internal/core"
 	"slpdas/internal/experiment"
 	"slpdas/internal/radio"
@@ -16,12 +13,13 @@ import (
 // Protocol selects which DAS variant to simulate.
 type Protocol string
 
-// Supported protocols.
+// Supported protocols; the names are shared with the campaign engine's
+// protocol axis.
 const (
 	// Protectionless is the baseline DAS of Figure 2.
-	Protectionless Protocol = "protectionless"
+	Protectionless Protocol = campaign.Protectionless
 	// SLPAware is the 3-phase SLP-aware DAS of Figures 2-4.
-	SLPAware Protocol = "slp"
+	SLPAware Protocol = campaign.SLPAware
 )
 
 // SimConfig configures a batch of simulation runs through the facade.
@@ -69,41 +67,14 @@ func (c SimConfig) withDefaults() SimConfig {
 }
 
 func (c SimConfig) coreConfig() (core.Config, error) {
-	var cfg core.Config
-	switch c.Protocol {
-	case Protectionless:
-		cfg = core.Default()
-	case SLPAware:
-		cfg = core.DefaultSLP(c.SearchDistance)
-	default:
-		return core.Config{}, fmt.Errorf("slpdas: unknown protocol %q", c.Protocol)
-	}
-	cfg.Attacker = attacker.Params{R: c.AttackerR, H: c.AttackerH, M: c.AttackerM}
-	cfg.Collisions = c.Collisions
-	loss, err := ParseLossModel(c.LossModel)
-	if err != nil {
-		return core.Config{}, err
-	}
-	cfg.Loss = loss
-	return cfg, nil
+	return campaign.BuildConfig(string(c.Protocol), c.SearchDistance,
+		attacker.Params{R: c.AttackerR, H: c.AttackerH, M: c.AttackerM},
+		c.LossModel, c.Collisions)
 }
 
 // ParseLossModel parses "ideal", "bernoulli:<p>" or "rssi".
 func ParseLossModel(s string) (radio.LossModel, error) {
-	switch {
-	case s == "" || s == "ideal":
-		return radio.Ideal{}, nil
-	case s == "rssi":
-		return radio.DefaultRSSINoise(), nil
-	case strings.HasPrefix(s, "bernoulli:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "bernoulli:"), 64)
-		if err != nil || p < 0 || p >= 1 {
-			return nil, fmt.Errorf("slpdas: bad bernoulli probability in %q", s)
-		}
-		return radio.Bernoulli{P: p}, nil
-	default:
-		return nil, fmt.Errorf("slpdas: unknown loss model %q", s)
-	}
+	return radio.ParseLossModel(s)
 }
 
 // CaptureSummary is the aggregate outcome of a batch of runs.
@@ -151,6 +122,17 @@ func Run(cfg SimConfig) (CaptureSummary, error) {
 		ControlBytes:       agg.ControlBytes.Mean,
 		ChangedNodes:       agg.ChangedNodes.Mean,
 	}, nil
+}
+
+// RunCampaign expands a declarative campaign.Spec into its full Cartesian
+// job matrix (topologies × protocols × search distances × attackers ×
+// loss models × collisions) and executes every cell through one shared
+// worker pool, streaming a summary row per cell to the given sinks as
+// cells complete. The whole of the paper's evaluation is one such spec;
+// see cmd/slpsweep for the command-line front end and examples/campaign
+// for reproducing Figure 5 this way.
+func RunCampaign(spec campaign.Spec, sinks ...campaign.Sink) (*campaign.Summary, error) {
+	return campaign.Run(spec, sinks...)
 }
 
 // Figure5 reproduces Figure 5 for the given search distance: capture
