@@ -195,6 +195,10 @@ func BenchmarkVerifySchedule(b *testing.B) {
 
 // BenchmarkSingleRun measures one full simulated lifecycle (setup + data
 // phase + attacker) per grid size — the unit cost behind every experiment.
+// Allocation counts are reported because the des/radio hot path underneath
+// is held to zero steady-state allocations (see the bench files in
+// internal/des, internal/radio and internal/core, and cmd/slpbench for the
+// recorded BENCH_*.json baselines).
 func BenchmarkSingleRun(b *testing.B) {
 	for _, side := range []int{11, 15, 21} {
 		side := side
@@ -204,6 +208,7 @@ func BenchmarkSingleRun(b *testing.B) {
 				b.Fatal(err)
 			}
 			sink, source := topo.GridCentre(side), topo.GridTopLeft()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				net, err := core.NewNetwork(g, sink, source, core.DefaultSLP(3), uint64(i))

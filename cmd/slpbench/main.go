@@ -1,0 +1,249 @@
+// Command slpbench runs the repository's hot-path benchmark suite outside
+// `go test` and records the results as one JSON document, so a benchmark
+// baseline can be committed (BENCH_<n>.json), diffed in review, and
+// uploaded from CI as an artifact.
+//
+// The suite covers the layers of the simulation hot path: the
+// discrete-event scheduler (internal/des), the radio broadcast→delivery
+// fan-out (internal/radio), the full per-run lifecycle (internal/core) and
+// the campaign engine above them. Timings are machine-dependent;
+// allocs/op and bytes/op are stable across machines and are the numbers
+// the zero-allocation hot path is held to.
+//
+// Usage:
+//
+//	slpbench [-out BENCH_2.json] [-quiet]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"slpdas/internal/campaign"
+	"slpdas/internal/core"
+	"slpdas/internal/des"
+	"slpdas/internal/radio"
+	"slpdas/internal/topo"
+)
+
+// Result is one benchmark's outcome in the emitted JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the whole document: enough provenance to interpret the
+// numbers, then one entry per benchmark.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_2.json", "output JSON file (empty = stdout)")
+	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	report := Report{
+		Schema:    "slpdas-bench/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, bench := range suite() {
+		r := testing.Benchmark(bench.fn)
+		res := Result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Results = append(report.Results, res)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "slpbench: %-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpbench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "slpbench: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "slpbench: wrote %s\n", *out)
+	}
+	return 0
+}
+
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite returns the hot-path benchmarks, cheapest layer first.
+func suite() []benchmark {
+	return []benchmark{
+		{"des/schedule-closure", benchScheduleClosure},
+		{"des/schedule-runner", benchScheduleRunner},
+		{"radio/broadcast", benchBroadcast(false, false)},
+		{"radio/broadcast-collisions", benchBroadcast(true, false)},
+		{"radio/broadcast-observed", benchBroadcast(false, true)},
+		{"core/single-run-11", benchSingleRun(11)},
+		{"core/single-run-21", benchSingleRun(21)},
+		{"campaign/cell-5x5", benchCampaignCell},
+	}
+}
+
+// benchScheduleClosure measures the steady-state schedule→execute cycle
+// with a reused closure body.
+func benchScheduleClosure(b *testing.B) {
+	s := des.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.ScheduleAfter(time.Millisecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.ScheduleAfter(0, tick)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type chainRunner struct {
+	s *des.Simulator
+	n int
+	b *testing.B
+}
+
+func (r *chainRunner) Run() {
+	r.n++
+	if r.n < r.b.N {
+		r.s.ScheduleRunnerAfter(time.Millisecond, r)
+	}
+}
+
+// benchScheduleRunner is the same cycle through the closure-free Runner
+// path — the hot path the radio and MAC layers use.
+func benchScheduleRunner(b *testing.B) {
+	s := des.New()
+	r := &chainRunner{s: s, b: b}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.ScheduleRunnerAfter(0, r)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type still struct{ pos topo.Point }
+
+func (o still) Location() topo.Point       { return o.pos }
+func (o still) Overhear(radio.Observation) {}
+
+// benchBroadcast measures one broadcast→delivery fan-out at the centre of
+// an 11×11 grid.
+func benchBroadcast(collisions, observed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, err := topo.DefaultGrid(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := des.New()
+		m := radio.New(sim, g, 1, radio.WithCollisions(collisions))
+		for n := topo.NodeID(0); int(n) < g.Len(); n++ {
+			m.SetReceiver(n, func(topo.NodeID, []byte) {})
+		}
+		centre := topo.GridCentre(11)
+		if observed {
+			m.AddObserver(still{pos: g.Position(centre)})
+		}
+		payload := make([]byte, 32)
+		fire := func() { m.Broadcast(centre, payload) }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.ScheduleAfter(0, fire)
+			if err := sim.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSingleRun measures one complete simulated lifecycle (setup + data
+// phase + attacker) — the unit of work behind every campaign repeat.
+func benchSingleRun(side int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, err := topo.DefaultGrid(side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink, source := topo.GridCentre(side), topo.GridTopLeft()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net, err := core.NewNetwork(g, sink, source, core.DefaultSLP(3), uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchCampaignCell measures a small campaign end to end through the
+// worker pool, sinks included.
+func benchCampaignCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mem := &campaign.Memory{}
+		if _, err := campaign.Run(campaign.Spec{
+			GridSizes:       []int{5},
+			SearchDistances: []int{2},
+			Repeats:         2,
+			BaseSeed:        uint64(i),
+			Workers:         2,
+		}, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

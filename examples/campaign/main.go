@@ -25,8 +25,8 @@ func main() {
 
 	mem := &campaign.Memory{}
 	sum, err := slpdas.RunCampaign(campaign.Spec{
-		GridSizes:       []int{11, 15, 21},     // Figure 5's x-axis
-		SearchDistances: []int{3},              // Figure 5(a)
+		GridSizes:       []int{11, 15, 21}, // Figure 5's x-axis
+		SearchDistances: []int{3},          // Figure 5(a)
 		Repeats:         repeats,
 		BaseSeed:        1,
 		Progress: func(done, total int, row campaign.Row) {

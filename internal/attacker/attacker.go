@@ -149,9 +149,31 @@ func New(g *topo.Graph, params Params, decide Decision, source topo.NodeID, seed
 	}, nil
 }
 
-// Activate begins the hunt: the attacker starts processing observations.
-// Call at source-activation time (the start of the data phase).
-func (a *Attacker) Activate() { a.active = true }
+// Activate begins the hunt at virtual time zero; see ActivateAt.
+func (a *Attacker) Activate() { a.ActivateAt(0) }
+
+// ActivateAt begins the hunt: the attacker starts processing observations.
+// Call at source-activation time (the start of the data phase), passing
+// the current virtual time. An attacker that is already standing on the
+// source — Start == source — has captured it the moment the hunt begins,
+// without needing to overhear anything or move.
+func (a *Attacker) ActivateAt(now time.Duration) {
+	a.active = true
+	a.checkCapture(now)
+}
+
+// checkCapture marks the capture once the attacker's location is the
+// source, firing OnCapture exactly once.
+func (a *Attacker) checkCapture(now time.Duration) {
+	if a.captured || a.cur != a.source {
+		return
+	}
+	a.captured = true
+	a.capAt = now
+	if a.OnCapture != nil {
+		a.OnCapture(now)
+	}
+}
 
 // Deactivate stops processing observations (the hunt is over).
 func (a *Attacker) Deactivate() { a.active = false }
@@ -205,13 +227,7 @@ func (a *Attacker) decideMove(now time.Duration) {
 	if a.OnMove != nil {
 		a.OnMove(next, now)
 	}
-	if a.cur == a.source {
-		a.captured = true
-		a.capAt = now
-		if a.OnCapture != nil {
-			a.OnCapture(now)
-		}
-	}
+	a.checkCapture(now)
 }
 
 // Current returns the attacker's current node.

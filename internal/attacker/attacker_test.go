@@ -243,6 +243,68 @@ func TestStayingConsumesMove(t *testing.T) {
 	}
 }
 
+func TestStartAtSourceCapturedOnActivation(t *testing.T) {
+	// Regression: capture used to be detected only inside decideMove after
+	// a relocation, so an attacker whose start node IS the source was
+	// never marked captured — it had no reason to move. Activation must
+	// detect the standing capture and stamp it with the activation time.
+	g, err := topo.Line(5, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	a, err := New(g, Params{R: 1, M: 1, Start: 0}, FirstHeard, 0, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var capturedAt time.Duration
+	fired := 0
+	a.OnCapture = func(at time.Duration) { capturedAt = at; fired++ }
+	if captured, _ := a.Captured(); captured {
+		t.Fatal("captured before activation")
+	}
+	a.ActivateAt(7 * time.Second)
+	captured, at := a.Captured()
+	if !captured {
+		t.Fatal("attacker starting on the source not captured at activation")
+	}
+	if at != 7*time.Second || capturedAt != 7*time.Second || fired != 1 {
+		t.Errorf("capture at %v (callback %v, fired %d), want 7s once", at, capturedAt, fired)
+	}
+	if len(a.Path()) != 1 {
+		t.Errorf("path = %v, want only the start", a.Path())
+	}
+}
+
+func TestStartAtSourceStayDecisionStaysCaptured(t *testing.T) {
+	// The stay-in-place decision must not disturb a standing capture: the
+	// attacker is done hunting and ignores further traffic.
+	stay := func(_ []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID { return cur }
+	g, err := topo.Line(5, 4.5, 4.5)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	sim := des.New()
+	m := radio.New(sim, g, 1)
+	a, err := New(g, Params{R: 1, M: 1, Start: 0}, stay, 0, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddObserver(a)
+	fired := 0
+	a.OnCapture = func(time.Duration) { fired++ }
+	a.ActivateAt(0)
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(1, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if captured, _ := a.Captured(); !captured || fired != 1 {
+		t.Errorf("captured=%v fired=%d, want captured exactly once", captured, fired)
+	}
+	if a.Current() != 0 || len(a.Path()) != 1 {
+		t.Errorf("attacker moved after capture: at %d path %v", a.Current(), a.Path())
+	}
+}
+
 func TestRandomHeardStaysWithinHeardSet(t *testing.T) {
 	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1}, RandomHeard)
 	a.Activate()

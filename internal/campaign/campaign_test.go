@@ -254,10 +254,15 @@ func TestCampaignSimulates(t *testing.T) {
 
 // TestDeterminism re-runs the same campaign and requires byte-identical
 // JSONL output — the property that makes campaigns diffable across runs.
+// The collision axis is swept so the pooled delivery events and collision
+// windows in internal/radio are exercised under concurrent workers: event
+// and buffer pools are per-simulator, so recycling must never leak state
+// across runs or depend on worker scheduling.
 func TestDeterminism(t *testing.T) {
 	spec := Spec{
 		GridSizes:       []int{5, 7},
 		SearchDistances: []int{1, 2},
+		Collisions:      []bool{false, true},
 		Repeats:         2,
 		BaseSeed:        42,
 	}

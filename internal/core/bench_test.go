@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"slpdas/internal/topo"
+)
+
+// BenchmarkDataPhasePeriod measures one steady-state TDMA period of the
+// full protocol stack — every node's slot task, the convergecast
+// broadcasts and the attacker clock — after setup has settled. This is the
+// cost the campaign engine pays per period of every repeat of every cell,
+// so it is the number the event-pool and radio-path work optimises for.
+func BenchmarkDataPhasePeriod(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := NewNetwork(g, topo.GridCentre(11), topo.GridTopLeft(), Default(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.setup(); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.sim.RunUntil(net.dataStart); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.startDataPhase(); err != nil {
+		b.Fatal(err)
+	}
+	period := net.timing.PeriodDuration()
+	// Warm the event/delivery pools with a few periods before measuring.
+	if err := net.sim.RunUntil(net.dataStart + 4*period); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadline := net.dataStart + time.Duration(i+5)*period
+		if err := net.sim.RunUntil(deadline); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

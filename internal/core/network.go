@@ -276,7 +276,10 @@ func (n *Network) startDataPhase() error {
 	}
 
 	n.medium.AddObserver(n.atk)
-	if _, err := n.sim.Schedule(n.dataStart, n.atk.Activate); err != nil {
+	// ActivateAt (not Activate) so a capture that exists at activation —
+	// the attacker already standing on the source — is stamped with the
+	// data-phase start time.
+	if _, err := n.sim.Schedule(n.dataStart, func() { n.atk.ActivateAt(n.dataStart) }); err != nil {
 		return err
 	}
 	n.atk.OnCapture = func(time.Duration) { n.sim.Stop() }

@@ -1,0 +1,44 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures the steady-state schedule→execute cycle:
+// each executed event schedules its successor, so the queue stays warm and
+// the benchmark isolates the per-event cost of the queue and event pool.
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.ScheduleAfter(time.Millisecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.ScheduleAfter(0, tick)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleFanout measures bursty scheduling: 64 events per batch,
+// mirroring a radio broadcast fanning deliveries out to a neighbourhood.
+func BenchmarkScheduleFanout(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			s.ScheduleAfter(time.Duration(j)*time.Microsecond, fn)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

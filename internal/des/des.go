@@ -3,10 +3,16 @@
 // strictly non-decreasing virtual-time order; events scheduled for the same
 // instant run in FIFO order of scheduling, so a run is a pure function of
 // its inputs.
+//
+// The scheduler is built for steady-state zero allocation: the pending
+// queue is a 4-ary implicit heap of small value entries, and event bodies
+// live in a free list of recycled boxes, so once the simulation reaches its
+// working-set size, Schedule/ScheduleRunner allocate nothing. Hot paths
+// that would otherwise allocate a closure per event (the radio delivery
+// path, the TDMA slot tasks) schedule a pre-allocated Runner instead.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -18,62 +24,90 @@ var (
 	ErrPastEvent = errors.New("des: event scheduled in the past")
 	// ErrEventBudget is returned when the run exceeds its event budget,
 	// which indicates a runaway protocol (e.g. a dissemination loop).
+	// The budget is checked before the next event is dequeued, so the
+	// simulator state stays consistent: the clock is not advanced, the
+	// event is still queued, and a later Run (after SetEventBudget) resumes
+	// without losing it.
 	ErrEventBudget = errors.New("des: event budget exhausted")
 )
 
-// Event is a handle to a scheduled callback. Cancelling an already-executed
-// or already-cancelled event is a no-op.
-type Event struct {
-	at        time.Duration
-	seq       uint64
+// Runner is a pre-allocated event body. Hot paths implement Runner on a
+// pooled struct and schedule it with ScheduleRunner to avoid the closure
+// allocation a func() event would cost per occurrence.
+type Runner interface {
+	Run()
+}
+
+// eventBox holds a scheduled event's body. Boxes are recycled through the
+// simulator's free list; gen distinguishes incarnations so a stale Event
+// handle (kept after its event executed) can never affect the box's next
+// occupant.
+type eventBox struct {
 	fn        func()
+	run       Runner
+	gen       uint64
 	cancelled bool
-	index     int // heap index, -1 once popped
+}
+
+func (b *eventBox) reset() {
+	b.fn = nil
+	b.run = nil
+	b.cancelled = false
+}
+
+// Event is a handle to a scheduled callback, valid across the event's whole
+// lifetime: cancelling an already-executed or already-cancelled event is a
+// no-op, even after the simulator has recycled the underlying storage. The
+// zero Event is inert.
+type Event struct {
+	box *eventBox
+	gen uint64
+	at  time.Duration
 }
 
 // Time returns the virtual time the event is scheduled for.
-func (e *Event) Time() time.Duration { return e.at }
+func (e Event) Time() time.Duration { return e.at }
 
-// Cancel prevents the callback from running. Safe to call multiple times.
-func (e *Event) Cancel() { e.cancelled = true }
-
-// Cancelled reports whether the event was cancelled.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents the callback from running. Safe to call multiple times,
+// and a no-op once the event has executed.
+func (e Event) Cancel() {
+	if e.box != nil && e.box.gen == e.gen {
+		e.box.cancelled = true
 	}
-	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Cancelled reports whether the event was cancelled before executing.
+func (e Event) Cancelled() bool {
+	return e.box != nil && e.box.gen == e.gen && e.box.cancelled
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+// Pending reports whether the event is still queued: scheduled, not yet
+// executed and not cancelled. The zero Event is not pending.
+func (e Event) Pending() bool {
+	return e.box != nil && e.box.gen == e.gen && !e.box.cancelled
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// entry is one pending event in the queue. The sort keys are inline so
+// heap sifting never chases the box pointer.
+type entry struct {
+	at  time.Duration
+	seq uint64
+	box *eventBox
+}
+
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Simulator owns the virtual clock and the pending event queue. The zero
 // value is not usable; construct with New.
 type Simulator struct {
 	now       time.Duration
-	queue     eventQueue
+	queue     []entry // 4-ary implicit min-heap on (at, seq)
+	free      []*eventBox
 	seq       uint64
 	executed  uint64
 	maxEvents uint64
@@ -108,21 +142,112 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // ones not yet reaped).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// SetEventBudget replaces the executed-event budget (zero = unlimited).
+// Raising the budget after Run returned ErrEventBudget lets the simulation
+// resume exactly where it stopped.
+func (s *Simulator) SetEventBudget(n uint64) { s.maxEvents = n }
+
+// --- 4-ary heap ---
+//
+// A 4-ary implicit heap halves the tree depth of the binary heap the
+// standard library's container/heap would maintain, trading slightly wider
+// sift-down compares for far fewer cache-missing levels — a consistent win
+// for event queues, which are pop-heavy. Entries are values, so growing
+// the queue reuses slice capacity and steady-state push/pop allocates
+// nothing.
+
+func (s *Simulator) heapPush(e entry) {
+	s.queue = append(s.queue, e)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.queue[i].before(s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+func (s *Simulator) heapPop() entry {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = entry{} // release the box pointer
+	s.queue = q[:n]
+	s.siftDown(0)
+	return top
+}
+
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(q[min]) {
+				min = c
+			}
+		}
+		if !q[min].before(q[i]) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
+// --- event pool ---
+
+func (s *Simulator) getBox() *eventBox {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b
+	}
+	return &eventBox{}
+}
+
+// releaseBox recycles an executed box. Cancelled boxes are deliberately
+// not recycled (see RunUntil): their handles must keep reporting
+// Cancelled() == true indefinitely.
+func (s *Simulator) releaseBox(b *eventBox) {
+	b.gen++
+	b.reset()
+	s.free = append(s.free, b)
+}
+
+// schedule enqueues a box and returns its entry keys.
+func (s *Simulator) schedule(at time.Duration, b *eventBox) {
+	s.heapPush(entry{at: at, seq: s.seq, box: b})
+	s.seq++
+}
+
 // Schedule queues fn to run at absolute virtual time at. It returns the
 // event handle, or an error if at is before the current time.
-func (s *Simulator) Schedule(at time.Duration, fn func()) (*Event, error) {
+func (s *Simulator) Schedule(at time.Duration, fn func()) (Event, error) {
 	if at < s.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e, nil
+	b := s.getBox()
+	b.fn = fn
+	s.schedule(at, b)
+	return Event{box: b, gen: b.gen, at: at}, nil
 }
 
 // ScheduleAfter queues fn to run d after the current time. Negative d is
 // treated as zero.
-func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) *Event {
+func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -132,6 +257,31 @@ func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) *Event {
 		panic(err)
 	}
 	return e
+}
+
+// ScheduleRunner queues r to run at absolute virtual time at. Runner
+// events have no cancellation handle; together with the event pool this
+// makes scheduling them allocation-free.
+func (s *Simulator) ScheduleRunner(at time.Duration, r Runner) error {
+	if at < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	b := s.getBox()
+	b.run = r
+	s.schedule(at, b)
+	return nil
+}
+
+// ScheduleRunnerAfter queues r to run d after the current time. Negative d
+// is treated as zero.
+func (s *Simulator) ScheduleRunnerAfter(d time.Duration, r Runner) {
+	if d < 0 {
+		d = 0
+	}
+	if err := s.ScheduleRunner(s.now+d, r); err != nil {
+		// Unreachable: now+d >= now for d >= 0.
+		panic(err)
+	}
 }
 
 // Stop makes the current Run return after the in-flight event completes.
@@ -151,20 +301,35 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
 		next := s.queue[0]
+		if next.box.cancelled {
+			// Reap without touching the clock or the budget. The box is
+			// not recycled so stale handles keep answering Cancelled().
+			s.heapPop()
+			continue
+		}
 		if deadline >= 0 && next.at > deadline {
 			s.now = deadline
 			return nil
 		}
-		heap.Pop(&s.queue)
-		if next.cancelled {
-			continue
-		}
-		s.now = next.at
+		// Budget check happens before the pop: on ErrEventBudget the event
+		// stays queued and the clock stays put, so the simulator remains
+		// consistent and resumable.
 		if s.maxEvents > 0 && s.executed >= s.maxEvents {
-			return fmt.Errorf("%w: budget=%d now=%v", ErrEventBudget, s.maxEvents, s.now)
+			return fmt.Errorf("%w: budget=%d now=%v next=%v", ErrEventBudget, s.maxEvents, s.now, next.at)
 		}
+		s.heapPop()
+		s.now = next.at
 		s.executed++
-		next.fn()
+		b := next.box
+		fn, run := b.fn, b.run
+		// Recycle before executing: the body may schedule follow-up events,
+		// which can then reuse this box immediately.
+		s.releaseBox(b)
+		if run != nil {
+			run.Run()
+		} else {
+			fn()
+		}
 	}
 	if deadline >= 0 && s.now < deadline && len(s.queue) == 0 {
 		// Queue drained before the deadline; advance the clock so callers

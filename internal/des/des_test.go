@@ -182,6 +182,139 @@ func TestEventBudget(t *testing.T) {
 	}
 }
 
+func TestEventBudgetLeavesSimulatorResumable(t *testing.T) {
+	// Regression: the budget used to be checked after the next event was
+	// popped and the clock advanced, so hitting the budget silently lost
+	// one event and left the clock in its future. Exhausting the budget
+	// must leave the next event queued and the clock on the last executed
+	// event, so raising the budget resumes without losing anything.
+	s := New(WithEventBudget(1))
+	var ran []time.Duration
+	s.ScheduleAfter(1*time.Second, func() { ran = append(ran, s.Now()) })
+	s.ScheduleAfter(2*time.Second, func() { ran = append(ran, s.Now()) })
+	if err := s.Run(); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Run err = %v, want ErrEventBudget", err)
+	}
+	if len(ran) != 1 || ran[0] != time.Second {
+		t.Fatalf("ran = %v, want exactly the 1s event", ran)
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now() = %v after budget stop, want 1s (clock must not advance past the last executed event)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after budget stop, want 1 (the 2s event must not be lost)", s.Pending())
+	}
+	s.SetEventBudget(0)
+	if err := s.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if len(ran) != 2 || ran[1] != 2*time.Second {
+		t.Errorf("after resume ran = %v, want the 2s event recovered", ran)
+	}
+}
+
+func TestRunnerEventsInterleaveWithClosures(t *testing.T) {
+	s := New()
+	var order []int
+	append2 := appendRunner{out: &order, v: 2}
+	if err := s.ScheduleRunner(2*time.Second, &append2); err != nil {
+		t.Fatalf("ScheduleRunner: %v", err)
+	}
+	s.ScheduleAfter(time.Second, func() { order = append(order, 1) })
+	s.ScheduleRunnerAfter(3*time.Second, &appendRunner{out: &order, v: 3})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if err := s.ScheduleRunner(0, &append2); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("ScheduleRunner in past: err = %v, want ErrPastEvent", err)
+	}
+}
+
+type appendRunner struct {
+	out *[]int
+	v   int
+}
+
+func (r *appendRunner) Run() { *r.out = append(*r.out, r.v) }
+
+type nopRunner struct{}
+
+func (nopRunner) Run() {}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	// An executed event's box returns to the pool. A handle kept from the
+	// old incarnation must be inert against the box's next occupant.
+	s := New()
+	e1 := s.ScheduleAfter(time.Second, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ran := false
+	s.ScheduleAfter(time.Second, func() { ran = true }) // reuses e1's box
+	e1.Cancel()
+	if e1.Cancelled() {
+		t.Error("stale handle reports Cancelled after its event executed")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Error("stale Cancel leaked into the recycled event")
+	}
+}
+
+func TestCancelledReportedAfterReap(t *testing.T) {
+	s := New()
+	e := s.ScheduleAfter(time.Second, func() {})
+	e.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after the cancelled event was reaped")
+	}
+	if e.Pending() {
+		t.Error("Pending() = true after reap")
+	}
+}
+
+func TestScheduleSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	r := nopRunner{}
+	// Warm the heap capacity and the box pool.
+	for i := 0; i < 128; i++ {
+		s.ScheduleAfter(time.Duration(i), fn)
+		s.ScheduleRunnerAfter(time.Duration(i), r)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("warmup Run: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.ScheduleRunnerAfter(time.Duration(i), r)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ScheduleRunner steady state allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.ScheduleAfter(time.Duration(i), fn)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Schedule (reused closure) steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	trace := func() []time.Duration {
 		s := New()

@@ -42,21 +42,19 @@ type envelope struct {
 type Timer struct {
 	name    string
 	proc    *Process
-	event   *des.Event
+	event   des.Event
 	expired bool
 }
 
 // Set (re-)arms the timer to fire after d, cancelling any pending expiry.
 // This is the set(timer, value) command of the paper.
 func (t *Timer) Set(d time.Duration) {
-	if t.event != nil {
-		t.event.Cancel()
-	}
+	t.event.Cancel()
 	t.expired = false
 	t.event = t.proc.engine.sim.ScheduleAfter(d, func() {
 		// Clear the handle before stimulating: a fired event is no longer
-		// armed, and a stale handle here would make Pending() lie forever.
-		t.event = nil
+		// armed, and the zero handle keeps Pending() honest.
+		t.event = des.Event{}
 		t.expired = true
 		t.proc.engine.stimulate(t.proc)
 	})
@@ -64,10 +62,8 @@ func (t *Timer) Set(d time.Duration) {
 
 // Stop cancels the timer without expiring it.
 func (t *Timer) Stop() {
-	if t.event != nil {
-		t.event.Cancel()
-		t.event = nil
-	}
+	t.event.Cancel()
+	t.event = des.Event{}
 	t.expired = false
 }
 
@@ -75,9 +71,7 @@ func (t *Timer) Stop() {
 func (t *Timer) Expired() bool { return t.expired }
 
 // Pending reports whether the timer is armed and counting down.
-func (t *Timer) Pending() bool {
-	return t.event != nil && !t.event.Cancelled()
-}
+func (t *Timer) Pending() bool { return t.event.Pending() }
 
 type actionKind int
 

@@ -3,6 +3,12 @@
 // receiver-side collision model, and eavesdropper taps through which the
 // attacker overhears transmissions. Together with internal/des it replaces
 // the TOSSIM radio stack used by the paper's evaluation.
+//
+// The broadcast→delivery path is the simulator's hottest loop, so it is
+// built to allocate nothing in steady state: per-neighbour deliveries and
+// per-broadcast eavesdropper scans are typed des.Runner events drawn from
+// free lists, and payload bytes live in refcounted pooled buffers shared by
+// every delivery of one broadcast.
 package radio
 
 import (
@@ -26,7 +32,9 @@ const (
 	DefaultPropagationDelay = time.Microsecond
 )
 
-// Receiver consumes frames delivered to a node.
+// Receiver consumes frames delivered to a node. The payload slice is owned
+// by the medium's buffer pool and is only valid for the duration of the
+// call; receivers that keep payload bytes must copy them.
 type Receiver func(from topo.NodeID, payload []byte)
 
 // Observation is what an eavesdropper perceives about one transmission:
@@ -40,7 +48,14 @@ type Observation struct {
 }
 
 // Observer is notified of every transmission whose sender is within radio
-// range of the observer's current position.
+// range of the observer.
+//
+// Audibility convention: a transmission is judged at the moment it ends —
+// the instant the Observation is delivered. The observer set and each
+// observer's Location() are read then, so an observer that relocates while
+// a frame is on the air hears it (or not) according to where it is when
+// the frame completes, consistently with Observation.At, which is also the
+// end-of-transmission time.
 type Observer interface {
 	// Location returns the observer's current position.
 	Location() topo.Point
@@ -71,20 +86,96 @@ type Medium struct {
 
 	receivers []Receiver
 	disabled  []bool
-	observers map[int]Observer
+	// observers is kept ordered by id so the scan at each transmission end
+	// visits live observers in registration order — deterministic, and
+	// O(live observers) rather than O(ids ever issued).
+	observers []observerEntry
 	nextObsID int
 
-	// rxBusy tracks, per node, the end time of the latest reception overlap
-	// window and whether the current window is corrupted.
-	rxEnd       []time.Duration
-	rxCorrupted []bool
-	rxPending   []*pendingRx
+	// Collision window state, per receiving node: rxEnd is the end of the
+	// latest reception window, rxLatest the delivery owning it. rxLatest is
+	// only consulted while rxEnd > now, i.e. while that delivery is still
+	// in the air, so it can never reach back into the pool.
+	rxEnd    []time.Duration
+	rxLatest []*delivery
+
+	freeDeliveries []*delivery
+	freeScans      []*obsScan
+	freeFrames     []*frame
+	// scanScratch is the reusable observer snapshot each obsScan iterates,
+	// so Overhear callbacks may add/remove observers without corrupting
+	// the walk.
+	scanScratch []observerEntry
 
 	stats Stats
 }
 
-type pendingRx struct {
+type observerEntry struct {
+	id  int
+	obs Observer
+}
+
+// frame is one broadcast's payload, shared by every delivery of that
+// broadcast and returned to the pool when the last reference drops.
+type frame struct {
+	buf  []byte
+	refs int
+}
+
+// delivery is the typed, pooled reception event: one per (broadcast,
+// in-range neighbour), scheduled at the end of the reception window.
+type delivery struct {
+	m         *Medium
+	f         *frame
+	from, to  topo.NodeID
 	corrupted bool
+}
+
+// Run implements des.Runner: the frame arrives at d.to.
+func (d *delivery) Run() {
+	m := d.m
+	if !m.disabled[d.to] {
+		if d.corrupted {
+			m.stats.CollisionDrops++
+		} else if recv := m.receivers[d.to]; recv != nil {
+			m.stats.Deliveries++
+			recv(d.from, d.f.buf)
+		}
+	}
+	if m.rxLatest[d.to] == d {
+		m.rxLatest[d.to] = nil
+	}
+	m.releaseFrame(d.f)
+	d.f = nil
+	m.freeDeliveries = append(m.freeDeliveries, d)
+}
+
+// obsScan is the pooled end-of-transmission eavesdropper scan: one per
+// broadcast, delivering Observations to every observer in range.
+type obsScan struct {
+	m     *Medium
+	from  topo.NodeID
+	pos   topo.Point
+	bytes int
+}
+
+// Run implements des.Runner: the transmission just ended; observers within
+// range of the sender (at their position now) overhear it. Collisions do
+// not hide the fact that a node keyed up: direction finding works on the
+// carrier, not the payload. The observer set is snapshotted before the
+// callbacks run, so an Overhear that adds or removes observers affects
+// later transmissions, not the one being delivered.
+func (s *obsScan) Run() {
+	m := s.m
+	obs := Observation{At: m.sim.Now(), From: s.from, Pos: s.pos, Bytes: s.bytes}
+	audible := m.g.RadioRange() + 1e-9
+	m.scanScratch = append(m.scanScratch[:0], m.observers...)
+	for _, oe := range m.scanScratch {
+		if s.pos.DistanceTo(oe.obs.Location()) <= audible {
+			oe.obs.Overhear(obs)
+		}
+	}
+	m.freeScans = append(m.freeScans, s)
 }
 
 // Option configures the medium.
@@ -111,19 +202,17 @@ func WithBitrate(bps int) Option {
 // stream from seed.
 func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium {
 	m := &Medium{
-		sim:         sim,
-		g:           g,
-		loss:        Ideal{},
-		rng:         xrand.NewNamed(seed, "radio"),
-		bitrate:     DefaultBitrate,
-		overhead:    DefaultFrameOverhead,
-		propDelay:   DefaultPropagationDelay,
-		receivers:   make([]Receiver, g.Len()),
-		disabled:    make([]bool, g.Len()),
-		observers:   make(map[int]Observer),
-		rxEnd:       make([]time.Duration, g.Len()),
-		rxCorrupted: make([]bool, g.Len()),
-		rxPending:   make([]*pendingRx, g.Len()),
+		sim:       sim,
+		g:         g,
+		loss:      Ideal{},
+		rng:       xrand.NewNamed(seed, "radio"),
+		bitrate:   DefaultBitrate,
+		overhead:  DefaultFrameOverhead,
+		propDelay: DefaultPropagationDelay,
+		receivers: make([]Receiver, g.Len()),
+		disabled:  make([]bool, g.Len()),
+		rxEnd:     make([]time.Duration, g.Len()),
+		rxLatest:  make([]*delivery, g.Len()),
 	}
 	for _, o := range opts {
 		o(m)
@@ -148,12 +237,21 @@ func (m *Medium) NodeDisabled(n topo.NodeID) bool { return m.disabled[n] }
 func (m *Medium) AddObserver(o Observer) int {
 	id := m.nextObsID
 	m.nextObsID++
-	m.observers[id] = o
+	m.observers = append(m.observers, observerEntry{id: id, obs: o})
 	return id
 }
 
-// RemoveObserver unregisters an eavesdropper.
-func (m *Medium) RemoveObserver(id int) { delete(m.observers, id) }
+// RemoveObserver unregisters an eavesdropper. Transmissions still on the
+// air no longer reach it: audibility is evaluated at transmission end (see
+// Observer).
+func (m *Medium) RemoveObserver(id int) {
+	for i, oe := range m.observers {
+		if oe.id == id {
+			m.observers = append(m.observers[:i], m.observers[i+1:]...)
+			return
+		}
+	}
+}
 
 // Airtime returns the on-air duration of a payload of the given size.
 func (m *Medium) Airtime(bytes int) time.Duration {
@@ -163,9 +261,65 @@ func (m *Medium) Airtime(bytes int) time.Duration {
 // Stats returns a copy of the medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
 
+// --- pools ---
+
+func (m *Medium) getFrame(payload []byte) *frame {
+	var f *frame
+	if n := len(m.freeFrames); n > 0 {
+		f = m.freeFrames[n-1]
+		m.freeFrames[n-1] = nil
+		m.freeFrames = m.freeFrames[:n-1]
+	} else {
+		f = &frame{}
+	}
+	f.buf = append(f.buf[:0], payload...)
+	f.refs = 1 // the broadcast's own reference, dropped once fan-out ends
+	return f
+}
+
+func (m *Medium) releaseFrame(f *frame) {
+	if f.refs--; f.refs == 0 {
+		m.freeFrames = append(m.freeFrames, f)
+	}
+}
+
+func (m *Medium) getDelivery(f *frame, from, to topo.NodeID) *delivery {
+	var d *delivery
+	if n := len(m.freeDeliveries); n > 0 {
+		d = m.freeDeliveries[n-1]
+		m.freeDeliveries[n-1] = nil
+		m.freeDeliveries = m.freeDeliveries[:n-1]
+	} else {
+		d = &delivery{m: m}
+	}
+	f.refs++
+	d.f = f
+	d.from = from
+	d.to = to
+	d.corrupted = false
+	return d
+}
+
+func (m *Medium) getScan(from topo.NodeID, pos topo.Point, bytes int) *obsScan {
+	var s *obsScan
+	if n := len(m.freeScans); n > 0 {
+		s = m.freeScans[n-1]
+		m.freeScans[n-1] = nil
+		m.freeScans = m.freeScans[:n-1]
+	} else {
+		s = &obsScan{m: m}
+	}
+	s.from = from
+	s.pos = pos
+	s.bytes = bytes
+	return s
+}
+
 // Broadcast transmits payload from node `from` to every node within radio
 // range. Delivery happens at now + airtime + propagation. The payload
-// slice is copied; callers may reuse their buffer.
+// slice is copied; callers may reuse their buffer. Steady state, the whole
+// fan-out allocates nothing: deliveries, observer scans and payload
+// buffers are recycled through the medium's pools.
 func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 	if !m.g.Valid(from) {
 		panic(fmt.Sprintf("radio: broadcast from invalid node %d", from))
@@ -176,15 +330,15 @@ func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 	m.stats.Broadcasts++
 	m.stats.BytesSent += uint64(len(payload))
 
-	buf := append([]byte(nil), payload...)
 	now := m.sim.Now()
-	airtime := m.Airtime(len(buf))
-	endAt := now + airtime + m.propDelay
+	airtime := m.Airtime(len(payload))
+	delay := airtime + m.propDelay
+	endAt := now + delay
 	senderPos := m.g.Position(from)
+	f := m.getFrame(payload)
 
 	// Schedule deliveries to in-range nodes, applying loss and collisions.
 	for _, to := range m.g.Neighbors(from) {
-		to := to
 		if m.disabled[to] {
 			continue
 		}
@@ -192,52 +346,36 @@ func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 			m.stats.LossDrops++
 			continue
 		}
-		rx := &pendingRx{}
+		d := m.getDelivery(f, from, to)
 		if m.collisions {
 			if m.rxEnd[to] > now {
-				// Overlapping with an ongoing reception: both corrupted.
-				rx.corrupted = true
-				if m.rxPending[to] != nil {
-					m.rxPending[to].corrupted = true
+				// Overlaps the reception window still open at `to`. Every
+				// reception in the air here is pairwise-overlapping with
+				// the new one; all but the latest-ending were corrupted on
+				// arrival, so corrupting that one plus the newcomer keeps
+				// the invariant "a clean in-flight reception is the sole
+				// in-flight reception".
+				d.corrupted = true
+				if cur := m.rxLatest[to]; cur != nil {
+					cur.corrupted = true
 				}
 				if endAt > m.rxEnd[to] {
 					m.rxEnd[to] = endAt
-					m.rxPending[to] = rx
+					m.rxLatest[to] = d
 				}
 			} else {
 				m.rxEnd[to] = endAt
-				m.rxPending[to] = rx
+				m.rxLatest[to] = d
 			}
 		}
-		m.sim.ScheduleAfter(airtime+m.propDelay, func() {
-			if m.disabled[to] {
-				return
-			}
-			if rx.corrupted {
-				m.stats.CollisionDrops++
-				return
-			}
-			if recv := m.receivers[to]; recv != nil {
-				m.stats.Deliveries++
-				recv(from, buf)
-			}
-		})
+		m.sim.ScheduleRunnerAfter(delay, d)
 	}
 
-	// Eavesdroppers: anyone within radio range of the sender observes the
-	// transmission (collisions do not hide the fact that a node keyed up;
-	// direction finding works on the carrier, not the payload). Iterate in
-	// id order so event scheduling stays deterministic.
-	for id := 0; id < m.nextObsID; id++ {
-		obs, ok := m.observers[id]
-		if !ok {
-			continue
-		}
-		if senderPos.DistanceTo(obs.Location()) <= m.g.RadioRange()+1e-9 {
-			size := len(buf)
-			m.sim.ScheduleAfter(airtime+m.propDelay, func() {
-				obs.Overhear(Observation{At: m.sim.Now(), From: from, Pos: senderPos, Bytes: size})
-			})
-		}
-	}
+	// Eavesdroppers: one scan event at end of transmission, where both the
+	// observer set and observer positions are evaluated (see Observer).
+	// Scheduled unconditionally — an observer registered while the frame
+	// is on the air must hear it, as the convention promises.
+	m.sim.ScheduleRunnerAfter(delay, m.getScan(from, senderPos, len(payload)))
+
+	m.releaseFrame(f)
 }

@@ -194,6 +194,82 @@ func TestNoCollisionWhenSeparatedInTime(t *testing.T) {
 	}
 }
 
+func TestThreeTransmissionTailOverlap(t *testing.T) {
+	// Node 4 (centre of a 3×3 grid) hears three receptions:
+	//
+	//	A (long)  |------------------|
+	//	B (short)    |----|
+	//	C (late)            |----|
+	//
+	// A↔B overlap, so both are corrupted. C starts after B has already
+	// ended but still inside A's tail, so C and A are corrupted — C must
+	// not be charged against the (already delivered) B, and B's earlier
+	// corruption must not leak onto receptions that never overlapped it.
+	// All three frames die; CollisionDrops counts each one.
+	g, err := topo.DefaultGrid(3)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	centre := topo.GridIndex(3, 1, 1)
+	got := 0
+	m.SetReceiver(centre, func(topo.NodeID, []byte) { got++ })
+	// Fail the corner nodes so the three senders' frames meet only at the
+	// centre and the global drop counter isolates that receiver.
+	for _, corner := range []topo.NodeID{0, 2, 6, 8} {
+		m.DisableNode(corner)
+	}
+	n := g.Neighbors(centre) // 4 cardinal neighbours, sorted
+
+	// A: 500 bytes ≈ 16.2 ms airtime. B at 2 ms: 100 bytes ≈ 3.4 ms.
+	// C at 8 ms (after B ended at ~5.4 ms, inside A's tail): 100 bytes.
+	sim.ScheduleAfter(0, func() { m.Broadcast(n[0], make([]byte, 500)) })
+	sim.ScheduleAfter(2*time.Millisecond, func() { m.Broadcast(n[1], make([]byte, 100)) })
+	sim.ScheduleAfter(8*time.Millisecond, func() { m.Broadcast(n[2], make([]byte, 100)) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 0 {
+		t.Errorf("centre received %d frames, want 0 (all three overlap pairwise with A)", got)
+	}
+	if drops := m.Stats().CollisionDrops; drops != 3 {
+		t.Errorf("CollisionDrops = %d, want 3", drops)
+	}
+}
+
+func TestTailTransmissionAfterWindowCloses(t *testing.T) {
+	// Same shape, but C starts after A's window has fully closed: C must
+	// arrive clean even though the collision state at the receiver was
+	// touched twice before.
+	g, err := topo.DefaultGrid(3)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	centre := topo.GridIndex(3, 1, 1)
+	got := 0
+	m.SetReceiver(centre, func(topo.NodeID, []byte) { got++ })
+	for _, corner := range []topo.NodeID{0, 2, 6, 8} {
+		m.DisableNode(corner)
+	}
+	n := g.Neighbors(centre)
+
+	sim.ScheduleAfter(0, func() { m.Broadcast(n[0], make([]byte, 500)) })
+	sim.ScheduleAfter(2*time.Millisecond, func() { m.Broadcast(n[1], make([]byte, 100)) })
+	sim.ScheduleAfter(30*time.Millisecond, func() { m.Broadcast(n[2], make([]byte, 100)) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 1 {
+		t.Errorf("centre received %d frames, want 1 (only the late clean frame)", got)
+	}
+	if drops := m.Stats().CollisionDrops; drops != 2 {
+		t.Errorf("CollisionDrops = %d, want 2", drops)
+	}
+}
+
 func TestCollisionsDisabledByDefault(t *testing.T) {
 	g, err := topo.Line(3, 4.5, 4.5)
 	if err != nil {
@@ -222,6 +298,11 @@ type fixedObserver struct {
 
 func (o *fixedObserver) Location() topo.Point    { return o.pos }
 func (o *fixedObserver) Overhear(ob Observation) { o.seen = append(o.seen, ob) }
+
+type nopObserver struct{ pos topo.Point }
+
+func (o nopObserver) Location() topo.Point { return o.pos }
+func (o nopObserver) Overhear(Observation) {}
 
 func TestObserverHearsOnlyInRange(t *testing.T) {
 	sim, g, m := newTestMedium(t, 5)
@@ -271,6 +352,155 @@ func TestRemoveObserver(t *testing.T) {
 	}
 	if len(obs.seen) != 0 {
 		t.Errorf("removed observer still heard %d transmissions", len(obs.seen))
+	}
+}
+
+func TestMovingObserverJudgedAtTransmissionEnd(t *testing.T) {
+	// Regression: audibility used to be evaluated against the observer's
+	// position at transmit start while Observation.At is the transmission
+	// end, so an observer relocating mid-frame was judged at a position it
+	// no longer occupied. The convention (see Observer) is end-of-
+	// transmission: where the observer is when the frame completes decides
+	// whether it hears the frame.
+	sim, g, m := newTestMedium(t, 5)
+	sender := topo.GridIndex(5, 2, 2)
+	inRange := g.Position(sender)
+	outOfRange := topo.Point{X: 1000, Y: 1000}
+
+	leaving := &fixedObserver{pos: inRange}
+	arriving := &fixedObserver{pos: outOfRange}
+	m.AddObserver(leaving)
+	m.AddObserver(arriving)
+
+	payload := make([]byte, 200) // several ms on the air
+	sim.ScheduleAfter(0, func() { m.Broadcast(sender, payload) })
+	// Mid-frame, the two observers swap positions.
+	sim.ScheduleAfter(m.Airtime(len(payload))/2, func() {
+		leaving.pos = outOfRange
+		arriving.pos = inRange
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(leaving.seen) != 0 {
+		t.Errorf("observer that left mid-frame heard %d transmissions, want 0", len(leaving.seen))
+	}
+	if len(arriving.seen) != 1 {
+		t.Errorf("observer that arrived mid-frame heard %d transmissions, want 1", len(arriving.seen))
+	}
+	if len(arriving.seen) == 1 {
+		want := m.Airtime(len(payload)) + DefaultPropagationDelay
+		if arriving.seen[0].At != want {
+			t.Errorf("Observation.At = %v, want transmission end %v", arriving.seen[0].At, want)
+		}
+	}
+}
+
+func TestObserverRemovedMidFrameHearsNothing(t *testing.T) {
+	// Same convention, applied to the observer set: removal while a frame
+	// is on the air takes effect before the frame completes.
+	sim, g, m := newTestMedium(t, 5)
+	sender := topo.GridIndex(5, 2, 2)
+	obs := &fixedObserver{pos: g.Position(sender)}
+	id := m.AddObserver(obs)
+	payload := make([]byte, 200)
+	sim.ScheduleAfter(0, func() { m.Broadcast(sender, payload) })
+	sim.ScheduleAfter(m.Airtime(len(payload))/2, func() { m.RemoveObserver(id) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(obs.seen) != 0 {
+		t.Errorf("observer removed mid-frame heard %d transmissions, want 0", len(obs.seen))
+	}
+}
+
+func TestObserverAddedMidFrameHearsFrame(t *testing.T) {
+	// Converse of removal: the observer set is read at transmission end,
+	// even when it was empty when the frame was keyed up.
+	sim, g, m := newTestMedium(t, 5)
+	sender := topo.GridIndex(5, 2, 2)
+	obs := &fixedObserver{pos: g.Position(sender)}
+	payload := make([]byte, 200)
+	sim.ScheduleAfter(0, func() { m.Broadcast(sender, payload) })
+	sim.ScheduleAfter(m.Airtime(len(payload))/2, func() { m.AddObserver(obs) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(obs.seen) != 1 {
+		t.Errorf("observer added mid-frame heard %d transmissions, want 1", len(obs.seen))
+	}
+}
+
+// selfRemovingObserver unregisters itself on its first observation.
+type selfRemovingObserver struct {
+	m     *Medium
+	id    int
+	pos   topo.Point
+	heard int
+}
+
+func (o *selfRemovingObserver) Location() topo.Point { return o.pos }
+func (o *selfRemovingObserver) Overhear(Observation) {
+	o.heard++
+	o.m.RemoveObserver(o.id)
+}
+
+func TestRemoveObserverFromOverhearKeepsScanIntact(t *testing.T) {
+	// Removing an observer from inside its own Overhear must not skip or
+	// double-deliver to the observers after it in the scan order.
+	sim, g, m := newTestMedium(t, 5)
+	sender := topo.GridIndex(5, 2, 2)
+	pos := g.Position(sender)
+	first := &selfRemovingObserver{m: m, pos: pos}
+	first.id = m.AddObserver(first)
+	second := &fixedObserver{pos: pos}
+	third := &fixedObserver{pos: pos}
+	m.AddObserver(second)
+	m.AddObserver(third)
+
+	sim.ScheduleAfter(0, func() { m.Broadcast(sender, []byte{1}) })
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(sender, []byte{2}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if first.heard != 1 {
+		t.Errorf("self-removing observer heard %d, want 1 (gone for the second frame)", first.heard)
+	}
+	if len(second.seen) != 2 || len(third.seen) != 2 {
+		t.Errorf("later observers heard %d and %d, want 2 each (no skip, no double delivery)",
+			len(second.seen), len(third.seen))
+	}
+}
+
+func TestBroadcastSteadyStateAllocFree(t *testing.T) {
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	for n := topo.NodeID(0); int(n) < g.Len(); n++ {
+		m.SetReceiver(n, func(topo.NodeID, []byte) {})
+	}
+	centre := topo.GridIndex(5, 2, 2)
+	m.AddObserver(nopObserver{pos: g.Position(centre)})
+	payload := make([]byte, 32)
+	fire := func() { m.Broadcast(centre, payload) }
+
+	// Warm the event, delivery, scan and frame pools.
+	for i := 0; i < 16; i++ {
+		sim.ScheduleAfter(0, fire)
+		if err := sim.Run(); err != nil {
+			t.Fatalf("warmup Run: %v", err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		sim.ScheduleAfter(0, fire)
+		if err := sim.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Broadcast→delivery steady state allocates %.1f/op, want 0", allocs)
 	}
 }
 
