@@ -10,7 +10,9 @@
 //	slpsim overhead [-size N] [-sd D] [-repeats N] [-seed S]
 //	slpsim run      [-size N] [-protocol protectionless|slp] [-sd D]
 //	                [-repeats N] [-seed S] [-loss ideal|bernoulli:p|rssi]
-//	                [-attacker R,H,M] [-collisions]
+//	                [-attacker R,H,M] [-strategy NAME] [-nattackers K]
+//	                [-shared-history] [-collisions]
+//	slpsim strategies
 package main
 
 import (
@@ -51,6 +53,12 @@ func run(args []string) int {
 		err = runCustom(args[1:])
 	case "sweep":
 		err = runSweep(args[1:])
+	case "strategies":
+		fmt.Println("registered attacker strategies:")
+		fmt.Println()
+		for _, s := range slpdas.Strategies() {
+			fmt.Printf("  %-16s %s\n", s.Name, s.Summary)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,7 +82,8 @@ commands:
   table1    print the protocol parameter table (Table I)
   overhead  message overhead of SLP DAS vs protectionless DAS
   run       custom simulation batch
-  sweep     ablations: -what sd | attacker | loss
+  sweep     ablations: -what sd | attacker | strategy | loss
+  strategies  list the registered attacker strategies
 
 run 'slpsim <command> -h' for the command's flags.`)
 }
@@ -180,6 +189,21 @@ func runSweep(args []string) error {
 			return err
 		}
 		fmt.Print(experiment.AttackerTable(points))
+	case "strategy":
+		// R=2, H=2 rather than the paper's (1,0,1): patient needs R >= 2 to
+		// ever corroborate and unvisited-first needs H > 0 to differ from
+		// first-heard, so the (1,0,1) default would compare strategies that
+		// cannot express their behaviour.
+		base := core.DefaultSLP(*sd)
+		base.Attacker.R = 2
+		base.Attacker.H = 2
+		fmt.Printf("attacker-strategy ablation (simulated), %d×%d grid, SD=%d, attacker (%d,%d,%d), %d repeats/cell\n\n",
+			*size, *size, *sd, base.Attacker.R, base.Attacker.H, base.Attacker.M, *repeats)
+		points, err := experiment.StrategySweep(*size, base, nil, []int{1, 2}, *repeats, *seed, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.StrategyTable(points))
 	case "loss":
 		fmt.Printf("channel-model ablation, %d×%d grid, SD=%d, %d repeats/cell\n\n", *size, *size, *sd, *repeats)
 		points, err := experiment.LossModelSweep(*size, *sd, *repeats, *seed, 0, nil)
@@ -202,6 +226,9 @@ func runCustom(args []string) error {
 	seed := fs.Uint64("seed", 1, "base random seed")
 	loss := fs.String("loss", "ideal", "channel model: ideal, bernoulli:<p>, rssi")
 	atk := fs.String("attacker", "1,0,1", "attacker parameters R,H,M")
+	strategy := fs.String("strategy", "", "attacker strategy (see 'slpsim strategies'; default first-heard)")
+	nattackers := fs.Int("nattackers", 1, "eavesdropper team size")
+	sharedHistory := fs.Bool("shared-history", false, "pool one H-window across the team")
 	collisions := fs.Bool("collisions", false, "enable receiver-side collisions")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,6 +246,9 @@ func runCustom(args []string) error {
 		AttackerR:      r,
 		AttackerH:      h,
 		AttackerM:      m,
+		Strategy:       *strategy,
+		Attackers:      *nattackers,
+		SharedHistory:  *sharedHistory,
 		LossModel:      *loss,
 		Collisions:     *collisions,
 	}
@@ -229,8 +259,19 @@ func runCustom(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %d×%d grid, %d runs (seed %d, loss %s, attacker %d,%d,%d)\n",
-		sum.Protocol, *size, *size, sum.Runs, *seed, *loss, r, h, m)
+	atkDesc := fmt.Sprintf("attacker %d,%d,%d", r, h, m)
+	if *strategy != "" || *nattackers > 1 {
+		name := *strategy
+		if name == "" {
+			name = "first-heard"
+		}
+		atkDesc = fmt.Sprintf("%s %s x%d", atkDesc, name, *nattackers)
+		if *sharedHistory {
+			atkDesc += " shared-history"
+		}
+	}
+	fmt.Printf("%s on %d×%d grid, %d runs (seed %d, loss %s, %s)\n",
+		sum.Protocol, *size, *size, sum.Runs, *seed, *loss, atkDesc)
 	fmt.Printf("  capture ratio     : %.1f%% ±%.1f (%d/%d)\n",
 		sum.CaptureRatio*100, sum.CaptureRatioCI95*100, sum.Captures, sum.Runs)
 	if sum.Captures > 0 {

@@ -15,7 +15,9 @@
 //
 //	slpsweep [-sizes 7,11] [-topologies grid|line:<n>|ring:<n>|rgg:<n>#<seed>,...]
 //	         [-protocols protectionless,slp] [-sd 1,3]
-//	         [-attackers R,H,M[;R,H,M...]] [-loss ideal,bernoulli:<p>,rssi]
+//	         [-attackers R,H,M[;R,H,M...]] [-strategies first-heard,cautious,...]
+//	         [-nattackers 1,2,3] [-shared-history false,true]
+//	         [-loss ideal,bernoulli:<p>,rssi]
 //	         [-collisions false,true] [-repeats N] [-seed S] [-workers W]
 //	         [-out results.jsonl] [-format jsonl|csv] [-quiet]
 package main
@@ -44,6 +46,10 @@ func run(args []string) int {
 	protoArg := fs.String("protocols", "protectionless,slp", "comma-separated protocol axis")
 	sdArg := fs.String("sd", "3", "comma-separated search distances")
 	atkArg := fs.String("attackers", "1,0,1", "semicolon-separated attacker R,H,M tuples")
+	stratArg := fs.String("strategies", attacker.DefaultStrategy,
+		"comma-separated attacker strategies: "+strings.Join(attacker.StrategyNames(), ", "))
+	countArg := fs.String("nattackers", "1", "comma-separated eavesdropper team sizes")
+	sharedArg := fs.String("shared-history", "false", "comma-separated shared-H-window settings: false, true")
 	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p>, rssi")
 	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
 	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
@@ -59,7 +65,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *lossArg, *collArg)
+	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *stratArg, *countArg, *sharedArg, *lossArg, *collArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
 		return 2
@@ -69,8 +75,9 @@ func run(args []string) int {
 	spec.Workers = *workers
 	if !*quiet {
 		spec.Progress = func(done, total int, row campaign.Row) {
-			fmt.Fprintf(os.Stderr, "slpsweep: cell %d/%d %s %s sd=%d: capture %.1f%% (%d/%d runs)\n",
+			fmt.Fprintf(os.Stderr, "slpsweep: cell %d/%d %s %s sd=%d %s x%d: capture %.1f%% (%d/%d runs)\n",
 				done, total, row.Topology, row.Protocol, row.SearchDistance,
+				row.Strategy, row.Attackers,
 				row.CaptureRatio*100, row.Captures, row.Runs)
 		}
 	}
@@ -126,7 +133,7 @@ func resolveFormat(format, out string) string {
 	return "jsonl"
 }
 
-func buildSpec(sizes, topologies, protocols, sds, attackers, losses, collisions string) (campaign.Spec, error) {
+func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts, shared, losses, collisions string) (campaign.Spec, error) {
 	var spec campaign.Spec
 	var err error
 	if spec.GridSizes, err = parseInts(sizes); err != nil {
@@ -142,15 +149,30 @@ func buildSpec(sizes, topologies, protocols, sds, attackers, losses, collisions 
 	if spec.Attackers, err = parseAttackers(attackers); err != nil {
 		return spec, fmt.Errorf("-attackers: %w", err)
 	}
+	spec.Strategies = splitList(strategies)
+	if spec.AttackerCounts, err = parseInts(counts); err != nil {
+		return spec, fmt.Errorf("-nattackers: %w", err)
+	}
+	if spec.SharedHistories, err = parseBools(shared); err != nil {
+		return spec, fmt.Errorf("-shared-history: %w", err)
+	}
 	spec.LossModels = splitList(losses)
-	for _, c := range splitList(collisions) {
-		b, err := strconv.ParseBool(c)
-		if err != nil {
-			return spec, fmt.Errorf("-collisions: bad value %q", c)
-		}
-		spec.Collisions = append(spec.Collisions, b)
+	if spec.Collisions, err = parseBools(collisions); err != nil {
+		return spec, fmt.Errorf("-collisions: %w", err)
 	}
 	return spec, nil
+}
+
+func parseBools(s string) ([]bool, error) {
+	var out []bool
+	for _, p := range splitList(s) {
+		b, err := strconv.ParseBool(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,41 @@
+package slpdas_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"slpdas"
+)
+
+// TestFig5aBackwardCompatible pins the acceptance criterion of the
+// attacker-subsystem rebuild: default single-attacker first-heard results
+// must be byte-identical to the pre-rebuild `slpsim fig5a` pipeline. The
+// golden file was generated at the last commit before the strategy
+// registry and multi-attacker support landed; it captures the rendered
+// figure table plus every per-run capture outcome and attacker walk.
+// A diff here means the refactor perturbed the paper's evaluation.
+func TestFig5aBackwardCompatible(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig5a_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var buf bytes.Buffer
+	tbl, fig, err := slpdas.Figure5(3, 5, 1, 7, 11)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	buf.WriteString(tbl)
+	for _, p := range fig.Points {
+		for _, r := range p.ProtectionlessAgg.Results {
+			fmt.Fprintf(&buf, "prot size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
+		}
+		for _, r := range p.SLPAgg.Results {
+			fmt.Fprintf(&buf, "slp size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fig5a output diverged from the pre-rebuild golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

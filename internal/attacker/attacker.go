@@ -99,12 +99,44 @@ func UnvisitedFirst(heard []Heard, history []topo.NodeID, cur topo.NodeID, _ *ra
 	return heard[0].From
 }
 
+// HistoryStore is an H-window of departed locations (most recent last,
+// length <= H). Every attacker owns a private store by default; a
+// multi-attacker hunt may share one store across its eavesdroppers so the
+// whole team avoids locations any member has already visited. All access
+// happens on the single simulation goroutine.
+type HistoryStore struct {
+	h   int
+	buf []topo.NodeID
+}
+
+// NewHistoryStore creates a window keeping the last h locations; h <= 0
+// yields an always-empty (memoryless) store.
+func NewHistoryStore(h int) *HistoryStore {
+	return &HistoryStore{h: h}
+}
+
+// Record appends a departed location, evicting the oldest past H entries.
+func (s *HistoryStore) Record(n topo.NodeID) {
+	if s.h <= 0 {
+		return
+	}
+	s.buf = append(s.buf, n)
+	if len(s.buf) > s.h {
+		s.buf = s.buf[1:]
+	}
+}
+
+// Snapshot returns a copy of the window, most recent last.
+func (s *HistoryStore) Snapshot() []topo.NodeID {
+	return append([]topo.NodeID(nil), s.buf...)
+}
+
 // Attacker is the live eavesdropper process driven by radio observations.
 // It implements radio.Observer.
 type Attacker struct {
 	g      *topo.Graph
 	params Params
-	decide Decision
+	strat  Strategy
 	source topo.NodeID
 	rng    *rand.Rand
 
@@ -112,10 +144,12 @@ type Attacker struct {
 	cur      topo.NodeID
 	msgs     []Heard
 	moves    int
-	history  []topo.NodeID // ring, most recent last, len <= H
+	moved    bool // relocated during the current period
+	hist     *HistoryStore
 	path     []topo.NodeID // every location visited, including start
 	captured bool
 	capAt    time.Duration
+	lastAt   time.Duration // latest observation time seen
 
 	// OnCapture, when non-nil, fires once at the capture instant.
 	OnCapture func(at time.Duration)
@@ -123,9 +157,22 @@ type Attacker struct {
 	OnMove func(to topo.NodeID, at time.Duration)
 }
 
-// New creates an attacker hunting source on graph g. It is inert until
-// Activate; register it on the medium with radio.Medium.AddObserver.
+// New creates an attacker hunting source on graph g with a plain decision
+// function. It is inert until Activate; register it on the medium with
+// radio.Medium.AddObserver.
 func New(g *topo.Graph, params Params, decide Decision, source topo.NodeID, seed uint64) (*Attacker, error) {
+	if decide == nil {
+		decide = FirstHeard
+	}
+	return NewWithStrategy(g, params, funcStrategy{decide}, source, seed, 0)
+}
+
+// NewWithStrategy creates the index-th eavesdropper of a (possibly
+// multi-attacker) hunt using the given strategy instance. The instance
+// must be fresh — strategies may keep state. Index 0 draws from the same
+// random stream as New, so a single-attacker run is byte-identical
+// whichever constructor built it; higher indices get independent streams.
+func NewWithStrategy(g *topo.Graph, params Params, strat Strategy, source topo.NodeID, seed uint64, index int) (*Attacker, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,19 +182,32 @@ func New(g *topo.Graph, params Params, decide Decision, source topo.NodeID, seed
 	if !g.Valid(source) {
 		return nil, fmt.Errorf("attacker: invalid source node %d", source)
 	}
-	if decide == nil {
-		decide = FirstHeard
+	if strat == nil {
+		strat = funcStrategy{FirstHeard}
+	}
+	if ga, ok := strat.(GraphAware); ok {
+		ga.Bind(g, params.Start)
+	}
+	label := "attacker"
+	if index > 0 {
+		label = fmt.Sprintf("attacker:%d", index)
 	}
 	return &Attacker{
 		g:      g,
 		params: params,
-		decide: decide,
+		strat:  strat,
 		source: source,
-		rng:    xrand.NewNamed(seed, "attacker"),
+		rng:    xrand.NewNamed(seed, label),
+		hist:   NewHistoryStore(params.H),
 		cur:    params.Start,
 		path:   []topo.NodeID{params.Start},
 	}, nil
 }
+
+// ShareHistory replaces the attacker's private H-window with a shared
+// store. Call before the hunt starts; the store's own window length
+// governs eviction for every sharer.
+func (a *Attacker) ShareHistory(s *HistoryStore) { a.hist = s }
 
 // Activate begins the hunt at virtual time zero; see ActivateAt.
 func (a *Attacker) Activate() { a.ActivateAt(0) }
@@ -179,11 +239,28 @@ func (a *Attacker) checkCapture(now time.Duration) {
 func (a *Attacker) Deactivate() { a.active = false }
 
 // NextPeriod implements the NextP action of Figure 1: at each period
-// boundary the message buffer and the move budget reset. The caller (who
-// knows the period length, as the paper's attacker does) schedules this.
-func (a *Attacker) NextPeriod() {
+// boundary the message buffer and the move budget reset, and PeriodAware
+// strategies may relocate (stamped with the latest observation time).
+// The caller (who knows the period length, as the paper's attacker does)
+// schedules this; callers that track virtual time themselves should
+// prefer NextPeriodAt.
+func (a *Attacker) NextPeriod() { a.NextPeriodAt(a.lastAt) }
+
+// NextPeriodAt is NextPeriod with an explicit boundary time, used to
+// stamp a PeriodAware strategy's boundary relocation (and any capture it
+// causes) with the true virtual time.
+func (a *Attacker) NextPeriodAt(now time.Duration) {
+	if a.active && !a.captured {
+		if pa, ok := a.strat.(PeriodAware); ok {
+			next := pa.PeriodEnd(a.moved, a.cur, a.path, a.rng)
+			if next != a.cur && a.g.HasEdge(a.cur, next) {
+				a.relocate(next, now)
+			}
+		}
+	}
 	a.msgs = a.msgs[:0]
 	a.moves = 0
+	a.moved = false
 }
 
 // Location implements radio.Observer.
@@ -195,6 +272,7 @@ func (a *Attacker) Overhear(obs radio.Observation) {
 	if !a.active || a.captured {
 		return
 	}
+	a.lastAt = obs.At
 	if len(a.msgs) < a.params.R {
 		a.msgs = append(a.msgs, Heard{From: obs.From, At: obs.At})
 	}
@@ -205,13 +283,7 @@ func (a *Attacker) Overhear(obs radio.Observation) {
 
 // decideMove is the Decide action of Figure 1.
 func (a *Attacker) decideMove(now time.Duration) {
-	next := a.decide(a.msgs, a.History(), a.cur, a.rng)
-	if a.params.H > 0 {
-		a.history = append(a.history, a.cur)
-		if len(a.history) > a.params.H {
-			a.history = a.history[1:]
-		}
-	}
+	next := a.strat.Decide(a.msgs, a.History(), a.cur, a.rng)
 	a.moves++
 	a.msgs = a.msgs[:0]
 	if next == a.cur {
@@ -222,7 +294,18 @@ func (a *Attacker) decideMove(now time.Duration) {
 	if !a.g.HasEdge(a.cur, next) {
 		return
 	}
+	a.relocate(next, now)
+}
+
+// relocate moves the attacker to an adjacent node, recording the H-window
+// and path, and checks for capture. The H-window records departed
+// locations only on actual relocation: "stay" decisions and edge-rejected
+// moves used to pollute it with duplicates of the current node, flushing
+// genuine visit history out of small windows and breaking UnvisitedFirst.
+func (a *Attacker) relocate(next topo.NodeID, now time.Duration) {
+	a.hist.Record(a.cur)
 	a.cur = next
+	a.moved = true
 	a.path = append(a.path, next)
 	if a.OnMove != nil {
 		a.OnMove(next, now)
@@ -241,9 +324,10 @@ func (a *Attacker) Path() []topo.NodeID {
 	return append([]topo.NodeID(nil), a.path...)
 }
 
-// History returns the last H visited locations, most recent last.
+// History returns the H-window contents, most recent last. With a shared
+// store this is the whole team's window, not just this attacker's.
 func (a *Attacker) History() []topo.NodeID {
-	return append([]topo.NodeID(nil), a.history...)
+	return a.hist.Snapshot()
 }
 
 var _ radio.Observer = (*Attacker)(nil)

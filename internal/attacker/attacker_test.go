@@ -195,6 +195,50 @@ func TestHistoryRing(t *testing.T) {
 	}
 }
 
+func TestHistoryNotPollutedByStaysAndRejectedMoves(t *testing.T) {
+	// Regression: decideMove used to append cur to the H-window on every
+	// decision, including "stay" and edge-rejected moves, flushing genuine
+	// visit history out of small windows. With H=2, a real move followed by
+	// two stays and one teleport attempt must leave the window holding only
+	// the genuinely departed location.
+	calls := 0
+	flaky := func(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+		calls++
+		switch calls {
+		case 1:
+			return heard[0].From // real move 4 -> 3
+		case 2, 3:
+			return cur // stay twice
+		default:
+			return 0 // two hops away: edge-rejected
+		}
+	}
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 1, H: 2}, flaky)
+	a.Activate()
+	for p := 0; p < 4; p++ {
+		at := time.Duration(p+1) * time.Second
+		if _, err := sim.Schedule(at, func() {
+			a.NextPeriod()
+			m.Broadcast(3, []byte{1})
+		}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("decision called %d times, want 4", calls)
+	}
+	if a.Current() != 3 {
+		t.Fatalf("attacker at %d, want 3", a.Current())
+	}
+	h := a.History()
+	if len(h) != 1 || h[0] != 4 {
+		t.Errorf("history = %v, want [4] (only the genuine departure)", h)
+	}
+}
+
 func TestMMovesWithinOnePeriod(t *testing.T) {
 	sim, _, m, a := lineWorld(t, Params{R: 1, M: 2}, FirstHeard)
 	a.Activate()
@@ -333,5 +377,34 @@ func TestUnvisitedFirstAvoidsHistory(t *testing.T) {
 	}
 	if got := FirstHeard(nil, nil, 4, nil); got != 4 {
 		t.Errorf("FirstHeard empty = %d, want 4", got)
+	}
+}
+
+func TestUnvisitedFirstEdgeCases(t *testing.T) {
+	// Fallback returning cur — a wasted move: every heard origin is either
+	// visited or the current location itself, and the first heard origin
+	// IS cur, so the decision burns the move budget standing still.
+	heard := []Heard{{From: 4}, {From: 3}}
+	if got := UnvisitedFirst(heard, []topo.NodeID{3}, 4, nil); got != 4 {
+		t.Errorf("wasted-move fallback = %d, want cur 4", got)
+	}
+	// Every heard origin is in the history: the fallback takes the first
+	// heard origin even though it was visited (re-entering is better than
+	// freezing forever).
+	heard = []Heard{{From: 2}, {From: 3}}
+	if got := UnvisitedFirst(heard, []topo.NodeID{2, 3}, 4, nil); got != 2 {
+		t.Errorf("all-visited fallback = %d, want 2 (first heard)", got)
+	}
+	// History containing the current node must not stop the attacker from
+	// taking a genuinely unvisited origin.
+	heard = []Heard{{From: 4}, {From: 1}}
+	if got := UnvisitedFirst(heard, []topo.NodeID{4}, 4, nil); got != 1 {
+		t.Errorf("cur-in-history decision = %d, want 1", got)
+	}
+	// An unvisited origin equal to cur is skipped in favour of a later
+	// unvisited one — moving to where you stand extracts nothing.
+	heard = []Heard{{From: 4}, {From: 2}}
+	if got := UnvisitedFirst(heard, nil, 4, nil); got != 2 {
+		t.Errorf("origin-equals-cur decision = %d, want 2", got)
 	}
 }

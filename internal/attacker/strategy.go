@@ -1,0 +1,223 @@
+package attacker
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"slpdas/internal/topo"
+)
+
+// Strategy is one attacker decision behaviour — the D of the
+// (R, H, M, s0, D)-attacker, packaged so hunts can be parameterised by
+// name. A Strategy instance belongs to exactly one attacker: strategies
+// may keep state across decisions (Backtrack does), so every eavesdropper
+// gets a fresh instance from its Factory.
+type Strategy interface {
+	// Decide is the Decide action of Figure 1; see Decision for the
+	// contract. Returning cur means "stay" (which still consumes a move).
+	Decide(heard []Heard, history []topo.NodeID, cur topo.NodeID, rng *rand.Rand) topo.NodeID
+}
+
+// GraphAware strategies are bound to the hunt's topology and start
+// location once, before the first decision. RandomWalk needs the
+// neighbourhood structure; Cautious precomputes the hop gradient from s0.
+type GraphAware interface {
+	Bind(g *topo.Graph, start topo.NodeID)
+}
+
+// PeriodAware strategies are consulted at every period boundary (the
+// NextP action): PeriodEnd reports whether the attacker relocated during
+// the period that just ended and returns a relocation target for the
+// boundary itself — the previous location for Backtrack's retreat, or cur
+// to stay put. Boundary moves do not consume the new period's move
+// budget: the attacker walks during the silence between periods.
+type PeriodAware interface {
+	PeriodEnd(moved bool, cur topo.NodeID, path []topo.NodeID, rng *rand.Rand) topo.NodeID
+}
+
+// Factory creates a fresh Strategy instance for one attacker.
+type Factory func() Strategy
+
+// Info describes one registered strategy for listings and documentation.
+type Info struct {
+	Name    string
+	Summary string
+}
+
+// DefaultStrategy is the registry name of the paper's first-heard
+// attacker, the default everywhere a strategy is not named explicitly.
+const DefaultStrategy = "first-heard"
+
+type registryEntry struct {
+	summary string
+	factory Factory
+}
+
+var registry = map[string]registryEntry{}
+
+// Register adds a named strategy to the registry. It panics on a
+// duplicate name: registration happens at init time and a collision is a
+// programming error.
+func Register(name, summary string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("attacker: duplicate strategy %q", name))
+	}
+	registry[name] = registryEntry{summary: summary, factory: f}
+}
+
+// Strategies lists every registered strategy, sorted by name.
+func Strategies() []Info {
+	out := make([]Info, 0, len(registry))
+	for name, e := range registry {
+		out = append(out, Info{Name: name, Summary: e.summary})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StrategyNames lists the registered names, sorted.
+func StrategyNames() []string {
+	infos := Strategies()
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// ByName resolves a registered strategy name to its factory.
+func ByName(name string) (Factory, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("attacker: unknown strategy %q (have %v)", name, StrategyNames())
+	}
+	return e.factory, nil
+}
+
+// DecisionStrategy wraps a plain Decision function as a stateless
+// Strategy, for hunts parameterised by function rather than by name.
+func DecisionStrategy(d Decision) Strategy { return funcStrategy{d} }
+
+// funcStrategy adapts a stateless Decision function.
+type funcStrategy struct{ d Decision }
+
+func (s funcStrategy) Decide(heard []Heard, history []topo.NodeID, cur topo.NodeID, rng *rand.Rand) topo.NodeID {
+	return s.d(heard, history, cur, rng)
+}
+
+// Patient commits only to corroborated origins: it moves to the origin
+// heard most often in the R-message buffer, and only once some origin has
+// been heard at least twice. With R = 1 no origin can corroborate, so a
+// patient attacker needs R >= 2 to ever leave s0 — the paper's trade-off
+// between reaction speed and resistance to decoy traffic.
+type Patient struct{}
+
+// Decide implements Strategy.
+func (Patient) Decide(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+	best, bestCount := cur, 1
+	for _, h := range heard {
+		count := 0
+		for _, other := range heard {
+			if other.From == h.From {
+				count++
+			}
+		}
+		// Strictly-greater keeps the earliest origin on ties, so the
+		// decision is deterministic in arrival order.
+		if count > bestCount {
+			best, bestCount = h.From, count
+		}
+	}
+	return best
+}
+
+// Backtrack chases like first-heard but retreats along its own approach
+// trail when a TDMA period yields no relocation — silence suggests the
+// gradient led into a dead end (a decoy path), so it walks back one hop
+// per silent period and resumes the chase from there.
+type Backtrack struct {
+	trail []topo.NodeID
+}
+
+// Decide implements Strategy: first-heard, recording the approach trail.
+func (b *Backtrack) Decide(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+	if len(heard) == 0 {
+		return cur
+	}
+	next := heard[0].From
+	if next != cur {
+		b.trail = append(b.trail, cur)
+	}
+	return next
+}
+
+// PeriodEnd implements PeriodAware: after a silent period, pop the trail.
+func (b *Backtrack) PeriodEnd(moved bool, cur topo.NodeID, _ []topo.NodeID, _ *rand.Rand) topo.NodeID {
+	if moved || len(b.trail) == 0 {
+		return cur
+	}
+	prev := b.trail[len(b.trail)-1]
+	b.trail = b.trail[:len(b.trail)-1]
+	return prev
+}
+
+// RandomWalk ignores overheard traffic entirely and steps to a uniformly
+// random neighbour on every decision — the noise-floor baseline: any
+// strategy that cannot beat a random walker extracts nothing from the
+// traffic pattern.
+type RandomWalk struct {
+	g *topo.Graph
+}
+
+// Bind implements GraphAware.
+func (w *RandomWalk) Bind(g *topo.Graph, _ topo.NodeID) { w.g = g }
+
+// Decide implements Strategy.
+func (w *RandomWalk) Decide(_ []Heard, _ []topo.NodeID, cur topo.NodeID, rng *rand.Rand) topo.NodeID {
+	ns := w.g.Neighbors(cur)
+	if len(ns) == 0 {
+		return cur
+	}
+	return ns[rng.IntN(len(ns))]
+}
+
+// Cautious only commits to moves that strictly increase its hop distance
+// from s0: the hunt starts at the sink, and data traffic radiates inward
+// from the source, so an origin that sounds strictly closer to the source
+// is one strictly farther from the start. A cautious attacker never
+// retreats or sidesteps — it cannot be lured back by decoy traffic behind
+// it, at the price of stalling whenever every audible origin is lateral.
+type Cautious struct {
+	dist []int // hop distance from s0, by node
+}
+
+// Bind implements GraphAware: precompute the gradient from the start.
+func (c *Cautious) Bind(g *topo.Graph, start topo.NodeID) { c.dist = g.BFSFrom(start) }
+
+// Decide implements Strategy.
+func (c *Cautious) Decide(heard []Heard, _ []topo.NodeID, cur topo.NodeID, _ *rand.Rand) topo.NodeID {
+	for _, h := range heard {
+		if c.dist[h.From] > c.dist[cur] {
+			return h.From
+		}
+	}
+	return cur
+}
+
+func init() {
+	Register(DefaultStrategy, "move to the origin of the first message heard (the paper's D)",
+		func() Strategy { return funcStrategy{FirstHeard} })
+	Register("random-heard", "move to a uniformly random heard origin",
+		func() Strategy { return funcStrategy{RandomHeard} })
+	Register("unvisited-first", "first heard origin not in the H-window, falling back to first heard",
+		func() Strategy { return funcStrategy{UnvisitedFirst} })
+	Register("patient", "commit only once an origin is heard twice in the R-buffer (needs R >= 2)",
+		func() Strategy { return Patient{} })
+	Register("backtrack", "first-heard, retreating one hop along its trail per silent period",
+		func() Strategy { return &Backtrack{} })
+	Register("random-walk", "uniform random neighbour each decision; the noise-floor baseline",
+		func() Strategy { return &RandomWalk{} })
+	Register("cautious", "move only to origins strictly farther from s0 (never lured backwards)",
+		func() Strategy { return &Cautious{} })
+}

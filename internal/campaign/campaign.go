@@ -52,6 +52,14 @@ type Spec struct {
 	// Attackers is the (R, H, M) axis; Start is always the sink. Default
 	// the paper's (1, 0, 1).
 	Attackers []attacker.Params
+	// Strategies is the attacker decision axis, by registry name (see
+	// attacker.Strategies). Default the paper's first-heard.
+	Strategies []string
+	// AttackerCounts is the eavesdropper-team-size axis; capture is the
+	// first of the team to reach the source. Default {1}.
+	AttackerCounts []int
+	// SharedHistories is the pooled-H-window axis. Default {false}.
+	SharedHistories []bool
 	// LossModels is the channel axis: "ideal", "bernoulli:<p>", "rssi".
 	// Default {"ideal"}.
 	LossModels []string
@@ -86,6 +94,15 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Attackers) == 0 {
 		s.Attackers = []attacker.Params{{R: 1, H: 0, M: 1}}
 	}
+	if len(s.Strategies) == 0 {
+		s.Strategies = []string{attacker.DefaultStrategy}
+	}
+	if len(s.AttackerCounts) == 0 {
+		s.AttackerCounts = []int{1}
+	}
+	if len(s.SharedHistories) == 0 {
+		s.SharedHistories = []bool{false}
+	}
 	if len(s.LossModels) == 0 {
 		s.LossModels = []string{"ideal"}
 	}
@@ -117,6 +134,9 @@ type Cell struct {
 	Protocol       string
 	SearchDistance int
 	Attacker       attacker.Params
+	Strategy       string
+	AttackerCount  int
+	SharedHistory  bool
 	LossModel      string
 	Collisions     bool
 	Repeats        int
@@ -124,14 +144,30 @@ type Cell struct {
 }
 
 func (c Cell) config() (core.Config, error) {
-	return BuildConfig(c.Protocol, c.SearchDistance, c.Attacker, c.LossModel, c.Collisions)
+	return BuildConfig(c.Protocol, c.SearchDistance, AttackerSetup{
+		Params:        c.Attacker,
+		Strategy:      c.Strategy,
+		Count:         c.AttackerCount,
+		SharedHistory: c.SharedHistory,
+	}, c.LossModel, c.Collisions)
+}
+
+// AttackerSetup groups the attacker-side coordinates of a cell: the
+// (R, H, M) tuple, the decision strategy by registry name (empty =
+// first-heard), the team size (0 = single) and whether the team pools
+// one H-window.
+type AttackerSetup struct {
+	Params        attacker.Params
+	Strategy      string
+	Count         int
+	SharedHistory bool
 }
 
 // BuildConfig maps one cell's coordinates — protocol name, search
-// distance, attacker tuple, loss model, collisions — onto a validated
+// distance, attacker setup, loss model, collisions — onto a validated
 // core.Config. It is the single protocol-name switch shared by the
 // campaign engine and the slpdas facade.
-func BuildConfig(protocol string, searchDistance int, atk attacker.Params, lossModel string, collisions bool) (core.Config, error) {
+func BuildConfig(protocol string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool) (core.Config, error) {
 	var cfg core.Config
 	switch protocol {
 	case Protectionless:
@@ -141,7 +177,10 @@ func BuildConfig(protocol string, searchDistance int, atk attacker.Params, lossM
 	default:
 		return core.Config{}, fmt.Errorf("campaign: unknown protocol %q", protocol)
 	}
-	cfg.Attacker = atk
+	cfg.Attacker = atk.Params
+	cfg.Strategy = atk.Strategy
+	cfg.AttackerCount = atk.Count
+	cfg.SharedHistory = atk.SharedHistory
 	cfg.Collisions = collisions
 	loss, err := radio.ParseLossModel(lossModel)
 	if err != nil {
@@ -171,20 +210,29 @@ func (s Spec) Expand() ([]Cell, error) {
 			}
 			for _, sd := range s.SearchDistances {
 				for _, atk := range s.Attackers {
-					for _, loss := range s.LossModels {
-						for _, coll := range s.Collisions {
-							idx := len(cells)
-							cells = append(cells, Cell{
-								Index:          idx,
-								Topology:       top,
-								Protocol:       proto,
-								SearchDistance: sd,
-								Attacker:       atk,
-								LossModel:      loss,
-								Collisions:     coll,
-								Repeats:        s.Repeats,
-								BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
-							})
+					for _, strat := range s.Strategies {
+						for _, count := range s.AttackerCounts {
+							for _, sharedH := range s.SharedHistories {
+								for _, loss := range s.LossModels {
+									for _, coll := range s.Collisions {
+										idx := len(cells)
+										cells = append(cells, Cell{
+											Index:          idx,
+											Topology:       top,
+											Protocol:       proto,
+											SearchDistance: sd,
+											Attacker:       atk,
+											Strategy:       strat,
+											AttackerCount:  count,
+											SharedHistory:  sharedH,
+											LossModel:      loss,
+											Collisions:     coll,
+											Repeats:        s.Repeats,
+											BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
+										})
+									}
+								}
+							}
 						}
 					}
 				}

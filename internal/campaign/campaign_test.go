@@ -280,3 +280,87 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("output differs between 1 and 4 workers:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestExpandStrategyAndTeamAxes(t *testing.T) {
+	spec := Spec{
+		GridSizes:       []int{5},
+		Protocols:       []string{Protectionless},
+		Strategies:      []string{"first-heard", "cautious"},
+		AttackerCounts:  []int{1, 3},
+		SharedHistories: []bool{false, true},
+		Repeats:         2,
+		BaseSeed:        10,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if want := 2 * 2 * 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	// Strategy is outermost of the three new axes, shared-history innermost.
+	if cells[0].Strategy != "first-heard" || cells[4].Strategy != "cautious" {
+		t.Errorf("strategy order: %q, %q", cells[0].Strategy, cells[4].Strategy)
+	}
+	if cells[0].SharedHistory || !cells[1].SharedHistory {
+		t.Errorf("shared-history not innermost of the attacker axes")
+	}
+	if cells[0].AttackerCount != 1 || cells[2].AttackerCount != 3 {
+		t.Errorf("attacker counts: %d, %d", cells[0].AttackerCount, cells[2].AttackerCount)
+	}
+	// Seed layout is still BaseSeed + cell·Repeats.
+	for i, c := range cells {
+		if want := uint64(10 + 2*i); c.BaseSeed != want {
+			t.Errorf("cell %d BaseSeed = %d, want %d", i, c.BaseSeed, want)
+		}
+	}
+}
+
+func TestExpandRejectsUnknownStrategy(t *testing.T) {
+	exec := func(g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed uint64) (*core.Result, error) {
+		t.Error("job executed despite invalid strategy")
+		return nil, nil
+	}
+	if _, err := run(Spec{GridSizes: []int{5}, Strategies: []string{"teleport"}}, exec, &Memory{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestStrategyAxisDeterminism pins the acceptance criterion: a campaign
+// sweeping the new strategy × attackers axes is byte-identical across
+// worker counts.
+func TestStrategyAxisDeterminism(t *testing.T) {
+	spec := Spec{
+		GridSizes:       []int{5},
+		Protocols:       []string{Protectionless},
+		Strategies:      []string{"first-heard", "backtrack", "random-walk"},
+		AttackerCounts:  []int{1, 2},
+		SharedHistories: []bool{false, true},
+		Attackers:       []attacker.Params{{R: 1, H: 2, M: 1}},
+		Repeats:         2,
+		BaseSeed:        42,
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		s := spec
+		s.Workers = workers
+		if _, err := Run(s, NewJSONL(&buf)); err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(1), render(4)
+	if !bytes.Equal(a, b) {
+		t.Errorf("output differs between 1 and 4 workers:\n%s\nvs\n%s", a, b)
+	}
+	rows, err := ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	if rows[0].Strategy != "first-heard" || rows[0].Attackers != 1 {
+		t.Errorf("row 0 coordinates: %+v", rows[0])
+	}
+}

@@ -28,6 +28,9 @@ type Row struct {
 	AttackerR      int    `json:"attacker_r"`
 	AttackerH      int    `json:"attacker_h"`
 	AttackerM      int    `json:"attacker_m"`
+	Strategy       string `json:"strategy"`
+	Attackers      int    `json:"attackers"`
+	SharedHistory  bool   `json:"shared_history"`
 	LossModel      string `json:"loss_model"`
 	Collisions     bool   `json:"collisions"`
 	Repeats        int    `json:"repeats"`
@@ -67,6 +70,9 @@ func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
 		AttackerR:      c.Attacker.R,
 		AttackerH:      c.Attacker.H,
 		AttackerM:      c.Attacker.M,
+		Strategy:       agg.Strategy,
+		Attackers:      agg.Attackers,
+		SharedHistory:  c.SharedHistory,
 		LossModel:      c.LossModel,
 		Collisions:     c.Collisions,
 		Repeats:        c.Repeats,
@@ -140,7 +146,8 @@ func ReadJSONL(r io.Reader) ([]Row, error) {
 // csvHeader is the CSV column order; it must match csvRecord.
 var csvHeader = []string{
 	"cell", "topology", "grid_size", "nodes", "protocol", "search_distance",
-	"attacker_r", "attacker_h", "attacker_m", "loss_model", "collisions",
+	"attacker_r", "attacker_h", "attacker_m", "strategy", "attackers",
+	"shared_history", "loss_model", "collisions",
 	"repeats", "base_seed", "runs", "failures", "captures", "capture_ratio",
 	"capture_ratio_ci95", "mean_capture_periods", "schedule_valid_ratio",
 	"control_messages", "control_bytes", "total_messages", "changed_nodes",
@@ -153,6 +160,7 @@ func csvRecord(r Row) []string {
 		strconv.Itoa(r.Cell), r.Topology, strconv.Itoa(r.GridSize),
 		strconv.Itoa(r.Nodes), r.Protocol, strconv.Itoa(r.SearchDistance),
 		strconv.Itoa(r.AttackerR), strconv.Itoa(r.AttackerH), strconv.Itoa(r.AttackerM),
+		r.Strategy, strconv.Itoa(r.Attackers), strconv.FormatBool(r.SharedHistory),
 		r.LossModel, strconv.FormatBool(r.Collisions),
 		strconv.Itoa(r.Repeats), strconv.FormatUint(r.BaseSeed, 10),
 		strconv.Itoa(r.Runs), strconv.Itoa(r.Failures), strconv.Itoa(r.Captures),

@@ -14,8 +14,9 @@ func sampleRows() []Row {
 		{
 			Cell: 0, Topology: "grid-7x7", GridSize: 7, Nodes: 49,
 			Protocol: Protectionless, SearchDistance: 1,
-			AttackerR: 1, AttackerM: 1, LossModel: "ideal",
-			Repeats: 5, BaseSeed: 1, Runs: 5, Captures: 3,
+			AttackerR: 1, AttackerM: 1, Strategy: "first-heard", Attackers: 1,
+			LossModel: "ideal",
+			Repeats:   5, BaseSeed: 1, Runs: 5, Captures: 3,
 			CaptureRatio: 0.6, CaptureRatioCI95: 0.42,
 			MeanCapturePeriods: 12.5, ScheduleValidRatio: 1,
 			ControlMessages: 321, ControlBytes: 4567, TotalMessages: 1234,
@@ -25,6 +26,7 @@ func sampleRows() []Row {
 			Cell: 1, Topology: "ring-30", Nodes: 30,
 			Protocol: SLPAware, SearchDistance: 3,
 			AttackerR: 2, AttackerH: 1, AttackerM: 2,
+			Strategy: "backtrack", Attackers: 3, SharedHistory: true,
 			LossModel: "bernoulli:0.1", Collisions: true,
 			Repeats: 5, BaseSeed: 6, Runs: 4, Failures: 1,
 			ChangedNodes: 7,
@@ -90,7 +92,7 @@ func TestCSVSink(t *testing.T) {
 			t.Errorf("record %d has %d fields, want %d", i, len(rec), len(csvHeader))
 		}
 	}
-	if recs[1][1] != "grid-7x7" || recs[2][10] != "true" {
+	if recs[1][1] != "grid-7x7" || recs[2][9] != "backtrack" || recs[2][13] != "true" {
 		t.Errorf("rows = %v", recs[1:])
 	}
 }

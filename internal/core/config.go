@@ -61,9 +61,22 @@ type Config struct {
 	// Attacker carries (R, H, M); the start location s0 is set by the
 	// network to the sink, as in the paper.
 	Attacker attacker.Params
-	// Decision is the attacker's D function; nil means FirstHeard, the
-	// paper's (1,0,1,s0,D) attacker.
+	// Strategy selects the attacker decision behaviour by registry name
+	// (see attacker.Strategies); it takes precedence over Decision. Empty
+	// falls through to Decision.
+	Strategy string
+	// Decision is the attacker's D function when Strategy is empty; nil
+	// means FirstHeard, the paper's (1,0,1,s0,D) attacker.
 	Decision attacker.Decision
+	// AttackerCount is the number of simultaneous eavesdroppers, all
+	// starting at the sink with independent random streams and fresh
+	// strategy instances. 0 means the paper's single attacker. Capture is
+	// scored for the first to reach the source.
+	AttackerCount int
+	// SharedHistory pools one H-window across all attackers, so the team
+	// collectively avoids anywhere any member has visited. Only meaningful
+	// with AttackerCount > 1 and Attacker.H > 0.
+	SharedHistory bool
 	// Loss is the channel model; nil means radio.Ideal{}, the paper's
 	// reliable-network evaluation setting.
 	Loss radio.LossModel
@@ -135,5 +148,47 @@ func (c Config) Validate() error {
 	if err := (attacker.Params{R: c.Attacker.R, H: c.Attacker.H, M: c.Attacker.M, Start: 0}).Validate(); err != nil {
 		return err
 	}
+	if c.Strategy != "" {
+		if _, err := attacker.ByName(c.Strategy); err != nil {
+			return err
+		}
+	}
+	if c.AttackerCount < 0 {
+		return fmt.Errorf("core: attacker count must be >= 0, got %d", c.AttackerCount)
+	}
 	return nil
+}
+
+// Attackers returns the effective eavesdropper count (0 means 1).
+func (c Config) Attackers() int {
+	if c.AttackerCount <= 0 {
+		return 1
+	}
+	return c.AttackerCount
+}
+
+// strategyFactory resolves the configured behaviour — named strategy,
+// bare Decision func, or the first-heard default — to one per-attacker
+// instance factory.
+func (c Config) strategyFactory() (attacker.Factory, error) {
+	if c.Strategy != "" {
+		return attacker.ByName(c.Strategy)
+	}
+	decide := c.Decision
+	if decide == nil {
+		decide = attacker.FirstHeard
+	}
+	return func() attacker.Strategy { return attacker.DecisionStrategy(decide) }, nil
+}
+
+// StrategyLabel names the attacker behaviour for reporting: the Strategy
+// registry name, "custom" for a bare Decision func, else the default.
+func (c Config) StrategyLabel() string {
+	if c.Strategy != "" {
+		return c.Strategy
+	}
+	if c.Decision != nil {
+		return "custom"
+	}
+	return attacker.DefaultStrategy
 }

@@ -470,3 +470,110 @@ func TestNodeStateSnapshot(t *testing.T) {
 		t.Error("empty neighbourhood view")
 	}
 }
+
+func TestMultiAttackerCollectsEveryPath(t *testing.T) {
+	side := 7
+	g := grid(t, side)
+	cfg := Default()
+	cfg.AttackerCount = 3
+	res := run(t, g, side, cfg, 1)
+	if res.Attackers != 3 || len(res.AttackerPaths) != 3 {
+		t.Fatalf("Attackers=%d paths=%d, want 3", res.Attackers, len(res.AttackerPaths))
+	}
+	if res.Strategy != "first-heard" {
+		t.Errorf("Strategy = %q, want first-heard default", res.Strategy)
+	}
+	sink := topo.GridCentre(side)
+	for i, p := range res.AttackerPaths {
+		if len(p) == 0 || p[0] != sink {
+			t.Errorf("attacker %d path %v does not start at the sink %d", i, p, sink)
+		}
+	}
+	if res.Captured {
+		if res.CaptureBy < 0 || res.CaptureBy >= 3 {
+			t.Errorf("CaptureBy = %d out of range", res.CaptureBy)
+		}
+		last := res.AttackerPaths[res.CaptureBy]
+		if last[len(last)-1] != topo.GridTopLeft() {
+			t.Errorf("capturing attacker %d path %v does not end at the source", res.CaptureBy, last)
+		}
+	} else if res.CaptureBy != -1 {
+		t.Errorf("CaptureBy = %d without capture, want -1", res.CaptureBy)
+	}
+}
+
+func TestSingleAttackerUnchangedByMultiAttackerPlumbing(t *testing.T) {
+	// Backward compatibility: AttackerCount 0 (legacy zero value) and 1
+	// must produce identical results — same capture outcome, same path.
+	side := 7
+	g := grid(t, side)
+	legacy := run(t, g, side, Default(), 3)
+	one := Default()
+	one.AttackerCount = 1
+	explicit := run(t, g, side, one, 3)
+	if legacy.Captured != explicit.Captured || legacy.CaptureAt != explicit.CaptureAt {
+		t.Errorf("capture differs: legacy %v@%v vs explicit %v@%v",
+			legacy.Captured, legacy.CaptureAt, explicit.Captured, explicit.CaptureAt)
+	}
+	if len(legacy.AttackerPath) != len(explicit.AttackerPath) {
+		t.Fatalf("paths differ: %v vs %v", legacy.AttackerPath, explicit.AttackerPath)
+	}
+	for i := range legacy.AttackerPath {
+		if legacy.AttackerPath[i] != explicit.AttackerPath[i] {
+			t.Fatalf("paths differ: %v vs %v", legacy.AttackerPath, explicit.AttackerPath)
+		}
+	}
+}
+
+func TestNamedStrategyMatchesLegacyDecision(t *testing.T) {
+	// The registry's first-heard must behave exactly like the legacy
+	// Decision-func path for a single attacker.
+	side := 7
+	g := grid(t, side)
+	named := Default()
+	named.Strategy = "first-heard"
+	a := run(t, g, side, named, 1)
+	b := run(t, g, side, Default(), 1)
+	if a.Captured != b.Captured || a.CaptureAt != b.CaptureAt {
+		t.Errorf("named strategy diverges: %v@%v vs %v@%v", a.Captured, a.CaptureAt, b.Captured, b.CaptureAt)
+	}
+	if a.Strategy != "first-heard" || b.Strategy != "first-heard" {
+		t.Errorf("strategy labels = %q, %q", a.Strategy, b.Strategy)
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	cfg := Default()
+	cfg.Strategy = "teleport"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown strategy validated")
+	}
+	cfg = Default()
+	cfg.AttackerCount = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative attacker count validated")
+	}
+}
+
+func TestStrategiesRunEndToEnd(t *testing.T) {
+	// Every registered strategy must drive a full run without error; the
+	// random-walk baseline exercises the rng plumbing, cautious the graph
+	// binding, backtrack the period hooks.
+	side := 7
+	g := grid(t, side)
+	for _, s := range []string{"patient", "backtrack", "random-walk", "cautious", "unvisited-first", "random-heard"} {
+		cfg := Default()
+		cfg.Strategy = s
+		cfg.Attacker.H = 2
+		cfg.Attacker.R = 2
+		cfg.AttackerCount = 2
+		cfg.SharedHistory = true
+		res := run(t, g, side, cfg, 1)
+		if res.Strategy != s {
+			t.Errorf("%s: result strategy = %q", s, res.Strategy)
+		}
+		if res.Attackers != 2 || len(res.AttackerPaths) != 2 {
+			t.Errorf("%s: attackers = %d, paths = %d", s, res.Attackers, len(res.AttackerPaths))
+		}
+	}
+}

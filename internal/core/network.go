@@ -35,7 +35,7 @@ type Network struct {
 	medium *radio.Medium
 	engine *gcn.Engine
 	nodes  []*node
-	atk    *attacker.Attacker
+	atks   []*attacker.Attacker
 
 	timing    mac.Timing
 	deltaSS   int
@@ -113,11 +113,26 @@ func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64
 
 	params := cfg.Attacker
 	params.Start = sink
-	atk, err := attacker.New(g, params, cfg.Decision, source, seed)
+	var shared *attacker.HistoryStore
+	if cfg.SharedHistory {
+		shared = attacker.NewHistoryStore(params.H)
+	}
+	factory, err := cfg.strategyFactory()
 	if err != nil {
 		return nil, err
 	}
-	net.atk = atk
+	count := cfg.Attackers()
+	net.atks = make([]*attacker.Attacker, 0, count)
+	for i := 0; i < count; i++ {
+		atk, err := attacker.NewWithStrategy(g, params, factory(), source, seed, i)
+		if err != nil {
+			return nil, err
+		}
+		if shared != nil {
+			atk.ShareHistory(shared)
+		}
+		net.atks = append(net.atks, atk)
+	}
 	return net, nil
 }
 
@@ -130,8 +145,12 @@ func (n *Network) FailNode(id topo.NodeID, at time.Duration) {
 // Graph returns the topology.
 func (n *Network) Graph() *topo.Graph { return n.g }
 
-// Attacker exposes the eavesdropper (for examples that render the chase).
-func (n *Network) Attacker() *attacker.Attacker { return n.atk }
+// Attacker exposes the first eavesdropper (for examples that render the
+// chase); see Attackers for the whole team.
+func (n *Network) Attacker() *attacker.Attacker { return n.atks[0] }
+
+// Attackers exposes every eavesdropper of the hunt.
+func (n *Network) Attackers() []*attacker.Attacker { return n.atks }
 
 // DataStart returns the source-activation time.
 func (n *Network) DataStart() time.Duration { return n.dataStart }
@@ -275,19 +294,28 @@ func (n *Network) startDataPhase() error {
 		}
 	}
 
-	n.medium.AddObserver(n.atk)
-	// ActivateAt (not Activate) so a capture that exists at activation —
-	// the attacker already standing on the source — is stamped with the
-	// data-phase start time.
-	if _, err := n.sim.Schedule(n.dataStart, func() { n.atk.ActivateAt(n.dataStart) }); err != nil {
-		return err
+	for _, atk := range n.atks {
+		atk := atk
+		n.medium.AddObserver(atk)
+		// ActivateAt (not Activate) so a capture that exists at activation —
+		// the attacker already standing on the source — is stamped with the
+		// data-phase start time.
+		if _, err := n.sim.Schedule(n.dataStart, func() { atk.ActivateAt(n.dataStart) }); err != nil {
+			return err
+		}
+		// Capture = first of the team to reach the source: any capture
+		// ends the hunt for everyone.
+		atk.OnCapture = func(time.Duration) { n.sim.Stop() }
 	}
-	n.atk.OnCapture = func(time.Duration) { n.sim.Stop() }
-	// The attacker knows the period length (§VI-C): align NextPeriod.
+	// The attackers know the period length (§VI-C): align NextPeriod.
 	periods := int(math.Ceil(n.delta)) + 2
 	for k := 1; k <= periods; k++ {
 		at := n.dataStart + time.Duration(k)*n.timing.PeriodDuration()
-		if _, err := n.sim.Schedule(at, n.atk.NextPeriod); err != nil {
+		if _, err := n.sim.Schedule(at, func() {
+			for _, atk := range n.atks {
+				atk.NextPeriodAt(at)
+			}
+		}); err != nil {
 			return err
 		}
 	}
@@ -396,15 +424,34 @@ func (n *Network) collect() *Result {
 		SearchSent:   n.searchSent,
 
 		SourceDeliveries: n.sourceDeliveries,
-		AttackerPath:     n.atk.Path(),
+		Strategy:         n.cfg.StrategyLabel(),
+		Attackers:        len(n.atks),
+		CaptureBy:        -1,
 	}
 	for t, s := range n.msgStats {
 		res.Messages[t] = *s
 	}
-	if captured, at := n.atk.Captured(); captured && at <= n.deadline {
-		res.Captured = true
-		res.CaptureAt = at
-		res.CapturePeriods = float64(at-n.dataStart) / float64(n.timing.PeriodDuration())
+	// Capture = the first eavesdropper to reach the source within the
+	// safety deadline; ties on time break by attacker index.
+	for i, atk := range n.atks {
+		res.AttackerPaths = append(res.AttackerPaths, atk.Path())
+		captured, at := atk.Captured()
+		if !captured || at > n.deadline {
+			continue
+		}
+		if !res.Captured || at < res.CaptureAt {
+			res.Captured = true
+			res.CaptureAt = at
+			res.CaptureBy = i
+			res.CapturePeriods = float64(at-n.dataStart) / float64(n.timing.PeriodDuration())
+		}
+	}
+	// AttackerPath stays the single-attacker view: the capturing
+	// attacker's walk, or the first attacker's when no one captured.
+	if res.CaptureBy >= 0 {
+		res.AttackerPath = res.AttackerPaths[res.CaptureBy]
+	} else {
+		res.AttackerPath = res.AttackerPaths[0]
 	}
 	if now := n.sim.Now(); now > n.dataStart {
 		res.PeriodsRun = float64(now-n.dataStart) / float64(n.timing.PeriodDuration())

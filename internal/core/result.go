@@ -26,6 +26,13 @@ type Result struct {
 	DeltaSS        int           // sink–source hop distance
 	AttackerPath   []topo.NodeID
 
+	// Attacker-team coordinates: the strategy name, the number of
+	// eavesdroppers, which one captured (-1 = none) and every walk.
+	Strategy      string
+	Attackers     int
+	CaptureBy     int
+	AttackerPaths [][]topo.NodeID
+
 	// Schedule quality at data start.
 	Assignment          *schedule.Assignment
 	WeakViolations      int

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"slpdas/internal/attacker"
 	"slpdas/internal/core"
 	"slpdas/internal/metrics"
 	"slpdas/internal/radio"
@@ -116,6 +117,69 @@ func AttackerTable(points []AttackerPoint) *metrics.Table {
 			verdict,
 			fmt.Sprintf("%d", p.StatesExplored),
 		)
+	}
+	return t
+}
+
+// StrategyPoint is one cell of the simulated attacker-strategy study:
+// capture ratio and time for one (strategy, team size) coordinate.
+type StrategyPoint struct {
+	Strategy       string
+	Attackers      int
+	SharedHistory  bool
+	CaptureRatio   metrics.Proportion
+	CapturePeriods metrics.Summary // over captured runs only
+}
+
+// StrategySweep measures one base config against every named strategy at
+// each team size — the Monte-Carlo counterpart of AttackerSweep's
+// exhaustive verification, and the per-strategy capture ratio/time series
+// behind the attacker panel. Empty strategies defaults to the full
+// registry; empty counts defaults to a single attacker.
+func StrategySweep(gridSize int, base core.Config, strategies []string, counts []int, repeats int, baseSeed uint64, workers int) ([]StrategyPoint, error) {
+	if len(strategies) == 0 {
+		strategies = attacker.StrategyNames()
+	}
+	if len(counts) == 0 {
+		counts = []int{1}
+	}
+	out := make([]StrategyPoint, 0, len(strategies)*len(counts))
+	for _, s := range strategies {
+		for _, count := range counts {
+			cfg := base
+			cfg.Strategy = s
+			cfg.AttackerCount = count
+			agg, err := Run(Spec{
+				GridSize: gridSize,
+				Config:   cfg,
+				Repeats:  repeats,
+				BaseSeed: baseSeed,
+				Workers:  workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: strategy sweep %s x%d: %w", s, count, err)
+			}
+			out = append(out, StrategyPoint{
+				Strategy:       s,
+				Attackers:      count,
+				SharedHistory:  cfg.SharedHistory,
+				CaptureRatio:   agg.CaptureRatio,
+				CapturePeriods: agg.CapturePeriods,
+			})
+		}
+	}
+	return out, nil
+}
+
+// StrategyTable renders the sweep.
+func StrategyTable(points []StrategyPoint) *metrics.Table {
+	t := metrics.NewTable("strategy", "attackers", "capture ratio", "mean capture periods")
+	for _, p := range points {
+		periods := "-"
+		if p.CapturePeriods.N > 0 {
+			periods = fmt.Sprintf("%.1f", p.CapturePeriods.Mean)
+		}
+		t.AddRow(p.Strategy, fmt.Sprintf("%d", p.Attackers), p.CaptureRatio.String(), periods)
 	}
 	return t
 }

@@ -95,3 +95,52 @@ func TestLossModelSweepDefaults(t *testing.T) {
 		t.Errorf("default sweep has %d points, want 3", len(points))
 	}
 }
+
+func TestStrategySweepCoversRegistryAndCounts(t *testing.T) {
+	points, err := StrategySweep(5, core.Default(), []string{"first-heard", "random-walk"}, []int{1, 2}, 2, 1, 0)
+	if err != nil {
+		t.Fatalf("StrategySweep: %v", err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 strategies x 2 counts)", len(points))
+	}
+	want := []struct {
+		s string
+		n int
+	}{{"first-heard", 1}, {"first-heard", 2}, {"random-walk", 1}, {"random-walk", 2}}
+	for i, p := range points {
+		if p.Strategy != want[i].s || p.Attackers != want[i].n {
+			t.Errorf("point %d = (%s, %d), want %+v", i, p.Strategy, p.Attackers, want[i])
+		}
+		if p.CaptureRatio.Trials != 2 {
+			t.Errorf("point %d trials = %d, want 2", i, p.CaptureRatio.Trials)
+		}
+	}
+	tbl := StrategyTable(points)
+	if tbl.Len() != 4 {
+		t.Errorf("table rows = %d, want 4", tbl.Len())
+	}
+	// Defaulting pulls in the whole registry.
+	all, err := StrategySweep(5, core.Default(), nil, nil, 1, 1, 0)
+	if err != nil {
+		t.Fatalf("StrategySweep defaults: %v", err)
+	}
+	if len(all) < 7 {
+		t.Errorf("default sweep covers %d strategies, want the registry (>= 7)", len(all))
+	}
+}
+
+func TestAggregateCarriesAttackerCoordinates(t *testing.T) {
+	cfg := core.Default()
+	cfg.Strategy = "cautious"
+	cfg.AttackerCount = 3
+	cfg.SharedHistory = true
+	agg, err := Run(Spec{GridSize: 5, Config: cfg, Repeats: 1, BaseSeed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if agg.Strategy != "cautious" || agg.Attackers != 3 || !agg.SharedHistory {
+		t.Errorf("aggregate coordinates = (%s, %d, %v), want (cautious, 3, true)",
+			agg.Strategy, agg.Attackers, agg.SharedHistory)
+	}
+}

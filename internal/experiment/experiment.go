@@ -78,6 +78,11 @@ type Aggregate struct {
 	GridSize int
 	Repeats  int
 
+	// Attacker-team coordinates of the cell.
+	Strategy      string
+	Attackers     int
+	SharedHistory bool
+
 	CaptureRatio    metrics.Proportion
 	CapturePeriods  metrics.Summary // over captured runs only
 	ScheduleValid   metrics.Proportion
@@ -161,6 +166,9 @@ func aggregate(spec Spec, g *topo.Graph, results []*core.Result) *Aggregate {
 		Nodes:          g.Len(),
 		GridSize:       spec.GridSize,
 		Repeats:        spec.Repeats,
+		Strategy:       spec.Config.StrategyLabel(),
+		Attackers:      spec.Config.Attackers(),
+		SharedHistory:  spec.Config.SharedHistory,
 		MessagesByType: make(map[wire.Type]metrics.Summary),
 	}
 	agg.Name = fmt.Sprintf("%s/%s", g.Name(), agg.Protocol)

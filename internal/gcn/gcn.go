@@ -205,18 +205,21 @@ func (e *Engine) stimulate(p *Process) {
 }
 
 // stepOnce executes at most one enabled action; reports whether one ran.
+// Consuming the channel head — whether a receive action handles it or no
+// action matches and it is dropped — counts as one step, so a flood of
+// unmatched messages is charged against the step budget instead of being
+// discarded for free inside a single step.
 func (p *Process) stepOnce(e *Engine) bool {
 	// Channel head first: receive actions have rcv guards that depend on
 	// the head message, evaluated in declaration order.
-	for len(p.inbox) > 0 {
+	if len(p.inbox) > 0 {
 		head := p.inbox[0]
-		matched := false
+		p.inbox = p.inbox[1:]
 		for _, a := range p.actions {
 			if a.kind != kindReceive {
 				continue
 			}
 			if a.match == nil || a.match(head.msg) {
-				p.inbox = p.inbox[1:]
 				if e.OnAction != nil {
 					e.OnAction(p, a.name)
 				}
@@ -224,13 +227,10 @@ func (p *Process) stepOnce(e *Engine) bool {
 				return true
 			}
 		}
-		if !matched {
-			// No receive action matches: the message is consumed and lost,
-			// mirroring an unhandled frame in a real stack.
-			p.inbox = p.inbox[1:]
-			p.dropped++
-			// Keep scanning subsequent messages in this same step.
-		}
+		// No receive action matches: the message is consumed and lost,
+		// mirroring an unhandled frame in a real stack.
+		p.dropped++
+		return true
 	}
 	// Then timeout and plain guard actions in declaration order.
 	for _, a := range p.actions {

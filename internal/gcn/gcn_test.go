@@ -48,6 +48,46 @@ func TestUnmatchedMessageDropped(t *testing.T) {
 	}
 }
 
+func TestUnmatchedFloodChargesStepBudget(t *testing.T) {
+	// Regression: the drop loop in stepOnce used to consume every unmatched
+	// inbox entry inside a single budgeted step, so a flood of garbage
+	// frames bypassed the step budget entirely. Dropping now costs one step
+	// per message: a flood larger than the budget must trip ErrStepBudget.
+	sim := des.New()
+	e := NewEngine(sim, 50)
+	p := e.NewProcess(1)
+	p.AddReceive("rcvPing", func(m Message) bool { _, ok := m.(ping); return ok },
+		func(topo.NodeID, Message) {})
+	// Enqueue the flood directly, then stimulate once so every drop lands
+	// in the same budgeted run-to-quiescence.
+	for i := 0; i < 60; i++ {
+		p.inbox = append(p.inbox, envelope{sender: 2, msg: pong{i}})
+	}
+	e.Kickstart(p)
+	if !errors.Is(p.Err(), ErrStepBudget) {
+		t.Errorf("Err = %v, want ErrStepBudget (60 unmatched drops vs budget 50)", p.Err())
+	}
+	if p.Dropped() != 50 {
+		t.Errorf("Dropped = %d, want 50 (one drop per budgeted step)", p.Dropped())
+	}
+	// A flood within budget drains cleanly, still counting every drop.
+	sim2 := des.New()
+	e2 := NewEngine(sim2, 50)
+	p2 := e2.NewProcess(1)
+	p2.AddReceive("rcvPing", func(m Message) bool { _, ok := m.(ping); return ok },
+		func(topo.NodeID, Message) {})
+	for i := 0; i < 40; i++ {
+		p2.inbox = append(p2.inbox, envelope{sender: 2, msg: pong{i}})
+	}
+	e2.Kickstart(p2)
+	if p2.Err() != nil {
+		t.Errorf("Err = %v, want nil for a flood within budget", p2.Err())
+	}
+	if p2.Dropped() != 40 || p2.QueueLen() != 0 {
+		t.Errorf("Dropped = %d QueueLen = %d, want 40 drained", p2.Dropped(), p2.QueueLen())
+	}
+}
+
 func TestChannelFIFO(t *testing.T) {
 	sim := des.New()
 	e := NewEngine(sim, 0)

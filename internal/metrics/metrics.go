@@ -93,8 +93,9 @@ func (p Proportion) String() string {
 
 // Table accumulates rows and renders them column-aligned or as CSV.
 type Table struct {
-	headers []string
-	rows    [][]string
+	headers  []string
+	rows     [][]string
+	arityErr error
 }
 
 // NewTable creates a table with the given column headers.
@@ -102,11 +103,19 @@ func NewTable(headers ...string) *Table {
 	return &Table{headers: headers}
 }
 
-// AddRow appends one row; missing cells render empty, extra cells are an
-// error surfaced at render time to keep call sites simple.
+// AddRow appends one row; missing cells render empty. Extra cells are an
+// error surfaced at render time to keep call sites simple: String appends
+// the error as a trailing line and WriteCSV returns it instead of
+// silently truncating the row.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) && t.arityErr == nil {
+		t.arityErr = fmt.Errorf("metrics: row %d has %d cells, table has %d columns", len(t.rows), len(cells), len(t.headers))
+	}
 	t.rows = append(t.rows, cells)
 }
+
+// Err returns the first row-arity violation, if any.
+func (t *Table) Err() error { return t.arityErr }
 
 // Len returns the number of data rows.
 func (t *Table) Len() int { return len(t.rows) }
@@ -147,11 +156,18 @@ func (t *Table) String() string {
 	for _, row := range t.rows {
 		writeRow(row)
 	}
+	if t.arityErr != nil {
+		fmt.Fprintf(&b, "error: %v\n", t.arityErr)
+	}
 	return b.String()
 }
 
-// WriteCSV emits the table as CSV.
+// WriteCSV emits the table as CSV. A row with more cells than the table
+// has columns fails the whole render rather than truncating data.
 func (t *Table) WriteCSV(w io.Writer) error {
+	if t.arityErr != nil {
+		return t.arityErr
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.headers); err != nil {
 		return fmt.Errorf("metrics: write csv header: %w", err)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -138,5 +139,41 @@ func TestTableCSVQuoting(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `"a,b"`) {
 		t.Errorf("comma cell not quoted: %q", b.String())
+	}
+}
+
+func TestTableExtraCellsSurfaceAtRenderTime(t *testing.T) {
+	// Regression: String used to silently drop extra cells and WriteCSV
+	// silently truncated them; the documented contract is an error
+	// surfaced at render time.
+	tbl := NewTable("a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4", "5") // one cell too many
+	if tbl.Err() == nil {
+		t.Fatal("Err() = nil after an over-wide row")
+	}
+	if s := tbl.String(); !strings.Contains(s, "error:") || !strings.Contains(s, "3 cells") {
+		t.Errorf("String() does not surface the arity error:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err == nil {
+		t.Error("WriteCSV silently accepted an over-wide row")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("WriteCSV emitted %d bytes despite the error", buf.Len())
+	}
+	// Valid tables are unaffected: no error line, CSV round-trips.
+	ok := NewTable("a", "b")
+	ok.AddRow("1") // missing cells stay fine
+	ok.AddRow("2", "3")
+	if ok.Err() != nil {
+		t.Errorf("Err() = %v for a valid table", ok.Err())
+	}
+	if s := ok.String(); strings.Contains(s, "error:") {
+		t.Errorf("valid table renders an error line:\n%s", s)
+	}
+	buf.Reset()
+	if err := ok.WriteCSV(&buf); err != nil {
+		t.Errorf("WriteCSV: %v", err)
 	}
 }

@@ -34,6 +34,14 @@ type SimConfig struct {
 	AttackerR      int      // default 1
 	AttackerH      int      // default 0
 	AttackerM      int      // default 1
+	// Strategy is the attacker decision behaviour by registry name (see
+	// Strategies); default "first-heard", the paper's D.
+	Strategy string
+	// Attackers is the eavesdropper team size; capture is the first of
+	// the team to reach the source. Default 1.
+	Attackers int
+	// SharedHistory pools one H-window across the team.
+	SharedHistory bool
 	// LossModel: "ideal" (default), "bernoulli:<p>" or "rssi".
 	LossModel string
 	// Collisions enables receiver-side collision corruption.
@@ -68,8 +76,31 @@ func (c SimConfig) withDefaults() SimConfig {
 
 func (c SimConfig) coreConfig() (core.Config, error) {
 	return campaign.BuildConfig(string(c.Protocol), c.SearchDistance,
-		attacker.Params{R: c.AttackerR, H: c.AttackerH, M: c.AttackerM},
+		campaign.AttackerSetup{
+			Params:        attacker.Params{R: c.AttackerR, H: c.AttackerH, M: c.AttackerM},
+			Strategy:      c.Strategy,
+			Count:         c.Attackers,
+			SharedHistory: c.SharedHistory,
+		},
 		c.LossModel, c.Collisions)
+}
+
+// StrategyInfo describes one registered attacker strategy.
+type StrategyInfo struct {
+	Name    string
+	Summary string
+}
+
+// Strategies lists the registered attacker strategies, sorted by name —
+// the values accepted by SimConfig.Strategy and the campaign Strategies
+// axis.
+func Strategies() []StrategyInfo {
+	infos := attacker.Strategies()
+	out := make([]StrategyInfo, len(infos))
+	for i, in := range infos {
+		out[i] = StrategyInfo{Name: in.Name, Summary: in.Summary}
+	}
+	return out
 }
 
 // ParseLossModel parses "ideal", "bernoulli:<p>" or "rssi".
