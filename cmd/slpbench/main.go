@@ -5,14 +5,22 @@
 //
 // The suite covers the layers of the simulation hot path: the
 // discrete-event scheduler (internal/des), the radio broadcast→delivery
-// fan-out (internal/radio), the full per-run lifecycle (internal/core) and
-// the campaign engine above them. Timings are machine-dependent;
+// fan-out (internal/radio), the full per-run lifecycle and its memoized
+// setup path (internal/core NewNetwork vs Reset) and the campaign engine
+// above them, including a repeat-heavy 11×11 sweep — the workload the
+// arena-style run construction exists for. Timings are machine-dependent;
 // allocs/op and bytes/op are stable across machines and are the numbers
 // the zero-allocation hot path is held to.
 //
+// With -check, the freshly measured results are compared against a
+// committed baseline: any allocs/op regression in a suite the baseline
+// holds at zero allocs fails the run (exit 1); other allocs growth and all
+// ns/op movement is reported as warnings only, since wall-clock numbers do
+// not transfer between machines.
+//
 // Usage:
 //
-//	slpbench [-out BENCH_2.json] [-quiet]
+//	slpbench [-out BENCH_4.json] [-check BENCH_4.json] [-quiet]
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -43,11 +52,14 @@ type Result struct {
 // Report is the whole document: enough provenance to interpret the
 // numbers, then one entry per benchmark.
 type Report struct {
-	Schema    string   `json:"schema"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Results   []Result `json:"results"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPU is the host CPU model (from /proc/cpuinfo where available) —
+	// the provenance needed to compare ns/op numbers at all.
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
 }
 
 func main() {
@@ -56,7 +68,8 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_2.json", "output JSON file (empty = stdout)")
+	out := fs.String("out", "BENCH_4.json", "output JSON file (empty = stdout)")
+	check := fs.String("check", "", "baseline JSON to compare against; allocs/op regressions in zero-alloc suites fail the run")
 	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -66,10 +79,11 @@ func run(args []string) int {
 	}
 
 	report := Report{
-		Schema:    "slpdas-bench/1",
+		Schema:    "slpdas-bench/2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPU:       cpuModel(),
 	}
 	for _, bench := range suite() {
 		r := testing.Benchmark(bench.fn)
@@ -82,7 +96,7 @@ func run(args []string) int {
 		}
 		report.Results = append(report.Results, res)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "slpbench: %-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			fmt.Fprintf(os.Stderr, "slpbench: %-28s %14.1f ns/op %8d allocs/op %10d B/op\n",
 				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 		}
 	}
@@ -95,16 +109,100 @@ func run(args []string) int {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return 0
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "slpbench: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "slpbench: wrote %s\n", *out)
+		}
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "slpbench: %v\n", err)
-		return 1
-	}
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "slpbench: wrote %s\n", *out)
+
+	if *check != "" {
+		if !compareBaseline(*check, report) {
+			return 1
+		}
 	}
 	return 0
+}
+
+// cpuModel best-effort-identifies the host CPU. Linux exposes the model
+// name in /proc/cpuinfo; elsewhere the field is left empty rather than
+// guessed.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
+// compareBaseline reports whether the fresh results hold the committed
+// baseline's allocation guarantees. The contract, per the CI gate: a suite
+// the baseline records at 0 allocs/op must stay at 0 (hard failure —
+// allocs/op is machine-independent, so growth is a real regression);
+// non-zero alloc suites warn when allocs grow (campaign-level counts can
+// wiggle with worker scheduling); ns/op is always warn-only.
+func compareBaseline(path string, fresh Report) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpbench: read baseline: %v\n", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "slpbench: parse baseline: %v\n", err)
+		return false
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	covered := make(map[string]bool, len(fresh.Results))
+	ok := true
+	for _, r := range fresh.Results {
+		covered[r.Name] = true
+		b, found := baseline[r.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "slpbench: NOTE  %s: not in baseline %s\n", r.Name, path)
+			continue
+		}
+		switch {
+		case b.AllocsPerOp == 0 && r.AllocsPerOp > 0:
+			fmt.Fprintf(os.Stderr, "slpbench: FAIL  %s: %d allocs/op, baseline holds this suite at 0\n",
+				r.Name, r.AllocsPerOp)
+			ok = false
+		case r.AllocsPerOp > b.AllocsPerOp:
+			fmt.Fprintf(os.Stderr, "slpbench: WARN  %s: allocs/op %d -> %d\n",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp)
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > 1.2*b.NsPerOp {
+			fmt.Fprintf(os.Stderr, "slpbench: WARN  %s: ns/op %.1f -> %.1f (+%.0f%%; machine-dependent, not gating)\n",
+				r.Name, b.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1))
+		}
+	}
+	// A baseline entry with no fresh counterpart means a suite was renamed
+	// or deleted without updating the committed baseline — the guarantee it
+	// carried would otherwise vanish from CI silently.
+	for _, b := range base.Results {
+		if !covered[b.Name] {
+			fmt.Fprintf(os.Stderr, "slpbench: FAIL  %s: in baseline %s but not in the fresh run; update the baseline alongside suite changes\n",
+				b.Name, path)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "slpbench: baseline check against %s passed\n", path)
+	}
+	return ok
 }
 
 type benchmark struct {
@@ -120,9 +218,12 @@ func suite() []benchmark {
 		{"radio/broadcast", benchBroadcast(false, false)},
 		{"radio/broadcast-collisions", benchBroadcast(true, false)},
 		{"radio/broadcast-observed", benchBroadcast(false, true)},
+		{"core/setup-new-11", benchSetupNew},
+		{"core/setup-reset-11", benchSetupReset},
 		{"core/single-run-11", benchSingleRun(11)},
 		{"core/single-run-21", benchSingleRun(21)},
 		{"campaign/cell-5x5", benchCampaignCell},
+		{"campaign/sweep-11x11-x100", benchRepeatHeavySweep},
 	}
 }
 
@@ -207,6 +308,46 @@ func benchBroadcast(collisions, observed bool) func(b *testing.B) {
 	}
 }
 
+// benchSetupNew measures cold run construction: one full NewNetwork wiring
+// per op — what every campaign repeat paid before the arena split.
+func benchSetupNew(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, source := topo.GridCentre(11), topo.GridTopLeft()
+	cfg := core.DefaultSLP(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewNetwork(g, sink, source, cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSetupReset measures warm run construction: rewinding one wired
+// network with Reset — what a campaign repeat pays on the arena path.
+func benchSetupReset(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, source := topo.GridCentre(11), topo.GridTopLeft()
+	cfg := core.DefaultSLP(3)
+	net, err := core.NewNetwork(g, sink, source, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Reset(cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSingleRun measures one complete simulated lifecycle (setup + data
 // phase + attacker) — the unit of work behind every campaign repeat.
 func benchSingleRun(side int) func(b *testing.B) {
@@ -242,6 +383,25 @@ func benchCampaignCell(b *testing.B) {
 			Repeats:         2,
 			BaseSeed:        uint64(i),
 			Workers:         2,
+		}, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRepeatHeavySweep is the acceptance workload of the arena layer: the
+// paper's 11×11 grid at 100 repeats per cell with default axes (both
+// protocols), through the shared pool with per-worker network reuse. This
+// is wall-clock dominated, so expect a single iteration.
+func benchRepeatHeavySweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mem := &campaign.Memory{}
+		if _, err := campaign.Run(campaign.Spec{
+			GridSizes: []int{11},
+			Repeats:   100,
+			BaseSeed:  1,
+			Workers:   4,
 		}, mem); err != nil {
 			b.Fatal(err)
 		}

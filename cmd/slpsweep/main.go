@@ -103,6 +103,22 @@ func run(args []string) int {
 	}
 	sink := newSink(w)
 
+	// Sinks buffer (no syscall per row); checkpoint-flush every few cells
+	// from the single-goroutine Progress path so an interrupted campaign
+	// keeps all but its last handful of completed cells on disk.
+	const flushEvery = 16
+	progress := spec.Progress
+	spec.Progress = func(done, total int, row campaign.Row) {
+		if progress != nil {
+			progress(done, total, row)
+		}
+		if done%flushEvery == 0 || done == total {
+			if f, ok := sink.(interface{ Flush() error }); ok {
+				f.Flush()
+			}
+		}
+	}
+
 	sum, err := slpdas.RunCampaign(spec, sink)
 	if cerr := sink.Close(); cerr != nil && err == nil {
 		err = cerr

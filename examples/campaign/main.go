@@ -1,8 +1,8 @@
 // Campaign example: the Figure 5 sweep — capture ratio vs network size
 // for both protocols — expressed as one declarative campaign.Spec instead
-// of nested loops. Rows stream to results.jsonl as cells finish, so an
-// interrupted sweep keeps everything already computed; the in-memory sink
-// renders the paper's table at the end from the same stream.
+// of nested loops. Rows stream to a buffered JSONL sink as cells finish
+// (durable once the sink is closed); the in-memory sink renders the
+// paper's table at the end from the same stream.
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	defer out.Close()
 
 	mem := &campaign.Memory{}
+	jsonl := campaign.NewJSONL(out)
 	sum, err := slpdas.RunCampaign(campaign.Spec{
 		GridSizes:       []int{11, 15, 21}, // Figure 5's x-axis
 		SearchDistances: []int{3},          // Figure 5(a)
@@ -32,9 +33,13 @@ func main() {
 		Progress: func(done, total int, row campaign.Row) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s done\n", done, total, row.Topology, row.Protocol)
 		},
-	}, campaign.NewJSONL(out), mem)
+	}, jsonl, mem)
 	if err != nil {
 		log.Fatalf("campaign: %v", err)
+	}
+	// Sinks buffer: rows reach results.jsonl on Close.
+	if err := jsonl.Close(); err != nil {
+		log.Fatalf("close sink: %v", err)
 	}
 
 	fmt.Printf("Figure 5(a) as one campaign: %d cells, %d runs, wrote results.jsonl\n\n",

@@ -266,8 +266,36 @@ type resolvedCell struct {
 // Failed runs are counted per row (and in Summary.Failures); the first
 // run error is returned alongside the summary of everything that
 // completed, mirroring experiment.Run's convention.
+//
+// Execution is arena-style: topologies are memoised across campaigns (see
+// resolve), and each worker keeps one wired core.Network per topology,
+// rewinding it with Network.Reset between repeats and across config cells
+// instead of rebuilding — the per-run cost is the simulation itself, not
+// its setup. Reset is pinned to be indistinguishable from fresh
+// construction, so rows remain a pure function of the Spec regardless of
+// worker count, arena reuse or cache warmth.
 func Run(spec Spec, sinks ...Sink) (*Summary, error) {
-	return run(spec, experiment.RunSingle, sinks...)
+	return run(spec, nil, sinks...)
+}
+
+// arena is one worker's pool of reusable networks, keyed by topology (one
+// graph never maps to two different sink/source pairs within a campaign,
+// since all three come from the same builtTopology). The wire-or-reset
+// policy itself lives in experiment.RunReusable, shared with the
+// experiment harness's workers.
+type arena map[*topo.Graph]*core.Network
+
+func (a arena) run(rc resolvedCell, seed uint64) (*core.Result, error) {
+	net := a[rc.g]
+	res, err := experiment.RunReusable(&net, rc.g, rc.sink, rc.source, rc.cfg, seed)
+	if net == nil {
+		// RunReusable discards a network that failed to reset; rewire on
+		// the next job.
+		delete(a, rc.g)
+	} else {
+		a[rc.g] = net
+	}
+	return res, err
 }
 
 func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
@@ -281,18 +309,14 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 	}
 
 	// Resolve every topology and config up front so a bad axis value
-	// fails before any simulation starts. Topologies are cached by spec:
-	// graphs are immutable, so cells share them across the pool.
-	graphs := make(map[TopologySpec]*builtTopology, len(cells))
+	// fails before any simulation starts. Topologies are memoised
+	// process-wide by spec (graphs are immutable): cells share them across
+	// the pool, and successive campaigns share them across calls.
 	resolved := make([]resolvedCell, len(cells))
 	for i, c := range cells {
-		bt, ok := graphs[c.Topology]
-		if !ok {
-			bt, err = c.Topology.build()
-			if err != nil {
-				return nil, err
-			}
-			graphs[c.Topology] = bt
+		bt, err := c.Topology.resolve()
+		if err != nil {
+			return nil, err
 		}
 		cfg, err := c.config()
 		if err != nil {
@@ -330,10 +354,23 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns an arena of reusable networks (one per
+			// topology); the instrumented exec hook used by tests bypasses
+			// it.
+			var nets arena
+			if exec == nil {
+				nets = make(arena)
+			}
 			for j := range jobs {
 				rc := resolved[j.cell]
 				seed := rc.cell.BaseSeed + uint64(j.rep)
-				res, err := exec(rc.g, rc.sink, rc.source, rc.cfg, seed)
+				var res *core.Result
+				var err error
+				if nets != nil {
+					res, err = nets.run(rc, seed)
+				} else {
+					res, err = exec(rc.g, rc.sink, rc.source, rc.cfg, seed)
+				}
 				if err != nil {
 					errs[j.cell][j.rep] = fmt.Errorf("campaign: cell %d seed %d: %w", j.cell, seed, err)
 				} else {

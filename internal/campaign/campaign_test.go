@@ -270,12 +270,19 @@ func TestDeterminism(t *testing.T) {
 		var buf bytes.Buffer
 		s := spec
 		s.Workers = workers
-		if _, err := Run(s, NewJSONL(&buf)); err != nil {
+		sink := NewJSONL(&buf)
+		if _, err := Run(s, sink); err != nil {
 			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
 		}
 		return buf.Bytes()
 	}
 	a, b := render(1), render(4)
+	if len(a) == 0 {
+		t.Fatal("no output rendered")
+	}
 	if !bytes.Equal(a, b) {
 		t.Errorf("output differs between 1 and 4 workers:\n%s\nvs\n%s", a, b)
 	}
@@ -344,8 +351,12 @@ func TestStrategyAxisDeterminism(t *testing.T) {
 		var buf bytes.Buffer
 		s := spec
 		s.Workers = workers
-		if _, err := Run(s, NewJSONL(&buf)); err != nil {
+		sink := NewJSONL(&buf)
+		if _, err := Run(s, sink); err != nil {
 			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
 		}
 		return buf.Bytes()
 	}

@@ -95,15 +95,20 @@ func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
 }
 
 // Sink receives campaign rows as cells complete. Write is always called
-// from a single goroutine, in cell-index order; Close flushes any
-// buffering. Sinks do not own the underlying writer.
+// from a single goroutine, in cell-index order. The file-backed sinks
+// buffer: rows are only guaranteed durable in the underlying writer after
+// Flush or Close, so every campaign must Close its sinks (and may Flush at
+// checkpoints if it wants partial output to survive an interrupt). Sinks
+// do not own the underlying writer.
 type Sink interface {
 	Write(Row) error
 	Close() error
 }
 
 // JSONL streams rows as one JSON object per line — the resumable,
-// diffable format long campaigns should default to.
+// diffable format long campaigns should default to. Writes are buffered
+// (one row used to cost one syscall, which large sweeps feel); call Flush
+// for durability checkpoints and Close when the campaign ends.
 type JSONL struct {
 	w *bufio.Writer
 }
@@ -113,20 +118,23 @@ func NewJSONL(w io.Writer) *JSONL {
 	return &JSONL{w: bufio.NewWriter(w)}
 }
 
-// Write implements Sink. Each row is flushed immediately so an
-// interrupted campaign keeps every completed cell on disk.
+// Write implements Sink. The row lands in the buffer; it reaches the
+// underlying writer when the buffer fills, on Flush, or on Close.
 func (s *JSONL) Write(r Row) error {
 	b, err := json.Marshal(r)
 	if err != nil {
 		return err
 	}
-	if _, err := s.w.Write(append(b, '\n')); err != nil {
+	if _, err := s.w.Write(b); err != nil {
 		return err
 	}
-	return s.w.Flush()
+	return s.w.WriteByte('\n')
 }
 
-// Close implements Sink.
+// Flush pushes every buffered row to the underlying writer.
+func (s *JSONL) Flush() error { return s.w.Flush() }
+
+// Close implements Sink, flushing all buffered rows.
 func (s *JSONL) Close() error { return s.w.Flush() }
 
 // ReadJSONL parses rows written by JSONL, for resumption and diffing.
@@ -172,6 +180,7 @@ func csvRecord(r Row) []string {
 }
 
 // CSV streams rows as CSV with a header, for spreadsheet/pandas use.
+// Buffered like JSONL: rows reach the underlying writer on Flush/Close.
 type CSV struct {
 	w          *csv.Writer
 	wroteFirst bool
@@ -182,7 +191,7 @@ func NewCSV(w io.Writer) *CSV {
 	return &CSV{w: csv.NewWriter(w)}
 }
 
-// Write implements Sink, flushing per row like JSONL.
+// Write implements Sink, buffering like JSONL.
 func (s *CSV) Write(r Row) error {
 	if !s.wroteFirst {
 		if err := s.w.Write(csvHeader); err != nil {
@@ -190,17 +199,18 @@ func (s *CSV) Write(r Row) error {
 		}
 		s.wroteFirst = true
 	}
-	if err := s.w.Write(csvRecord(r)); err != nil {
-		return err
-	}
+	return s.w.Write(csvRecord(r))
+}
+
+// Flush pushes every buffered row to the underlying writer.
+func (s *CSV) Flush() error {
 	s.w.Flush()
 	return s.w.Error()
 }
 
-// Close implements Sink.
+// Close implements Sink, flushing all buffered rows.
 func (s *CSV) Close() error {
-	s.w.Flush()
-	return s.w.Error()
+	return s.Flush()
 }
 
 // Memory accumulates rows in memory — the sink tests and examples use to

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"errors"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -129,6 +130,148 @@ type failSink struct{ err error }
 
 func (f failSink) Write(Row) error { return f.err }
 func (f failSink) Close() error    { return f.err }
+
+// countingWriter tallies Write calls to the underlying writer — a proxy
+// for syscalls on a file-backed sink.
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestSinksBufferUntilCloseAndLoseNothing pins the buffered-sink contract
+// both ways: row emission must not hit the underlying writer once per row
+// (the pre-buffering behaviour large sweeps paid a syscall per cell for),
+// and every row written before Close must survive Close intact.
+func TestSinksBufferUntilCloseAndLoseNothing(t *testing.T) {
+	const rows = 64
+	t.Run("jsonl", func(t *testing.T) {
+		w := &countingWriter{}
+		sink := NewJSONL(w)
+		for i := 0; i < rows; i++ {
+			if err := sink.Write(Row{Cell: i, Topology: "grid-7x7"}); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if w.writes >= rows {
+			t.Errorf("%d underlying writes for %d rows; sink is not buffering", w.writes, rows)
+		}
+		back, err := ReadJSONL(&w.buf)
+		if err != nil {
+			t.Fatalf("ReadJSONL: %v", err)
+		}
+		if len(back) != rows {
+			t.Errorf("%d rows survived Close, want %d", len(back), rows)
+		}
+		for i, r := range back {
+			if r.Cell != i {
+				t.Errorf("row %d has Cell %d", i, r.Cell)
+			}
+		}
+	})
+	t.Run("csv", func(t *testing.T) {
+		w := &countingWriter{}
+		sink := NewCSV(w)
+		for i := 0; i < rows; i++ {
+			if err := sink.Write(Row{Cell: i}); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if w.writes >= rows {
+			t.Errorf("%d underlying writes for %d rows; sink is not buffering", w.writes, rows)
+		}
+		recs, err := csv.NewReader(&w.buf).ReadAll()
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if len(recs) != rows+1 { // header + rows
+			t.Errorf("%d records survived Close, want %d", len(recs), rows+1)
+		}
+	})
+}
+
+// TestJSONLFlushCheckpoints: Flush makes everything written so far durable
+// without closing the sink.
+func TestJSONLFlushCheckpoints(t *testing.T) {
+	w := &countingWriter{}
+	sink := NewJSONL(w)
+	if err := sink.Write(Row{Cell: 0}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if w.buf.Len() != 0 {
+		t.Errorf("row reached the writer before Flush")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	back, err := ReadJSONL(bytes.NewReader(w.buf.Bytes()))
+	if err != nil || len(back) != 1 {
+		t.Fatalf("after Flush: rows=%d err=%v", len(back), err)
+	}
+	if err := sink.Write(Row{Cell: 1}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	back, err = ReadJSONL(&w.buf)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("after Close: rows=%d err=%v", len(back), err)
+	}
+}
+
+// BenchmarkJSONLWrite measures per-row emission cost through the buffered
+// sink against a syscall-per-row unbuffered baseline (each Write followed
+// by a Flush, the pre-buffering behaviour).
+func BenchmarkJSONLWrite(b *testing.B) {
+	row := sampleRows()[0]
+	b.Run("buffered", func(b *testing.B) {
+		f, err := os.CreateTemp(b.TempDir(), "rows-*.jsonl")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		sink := NewJSONL(f)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sink.Write(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("flush-per-row", func(b *testing.B) {
+		f, err := os.CreateTemp(b.TempDir(), "rows-*.jsonl")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		sink := NewJSONL(f)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sink.Write(row); err != nil {
+				b.Fatal(err)
+			}
+			if err := sink.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 func TestRunPropagatesSinkFailure(t *testing.T) {
 	boom := errors.New("sink broke")

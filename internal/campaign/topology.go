@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"slpdas/internal/topo"
 )
@@ -61,6 +62,44 @@ type builtTopology struct {
 	g      *topo.Graph
 	sink   topo.NodeID
 	source topo.NodeID
+}
+
+// topoCache memoises built topologies across campaigns for the lifetime of
+// the process. TopologySpec is a pure value coordinate and Graph is
+// immutable, so one build serves every cell of every campaign that names
+// the same spec — a Figure 5/6-style grid that re-sweeps the same
+// topologies pays construction (including the two-hop CSR the schedule
+// checks touch) exactly once. Guarded by a mutex: builds are rare and the
+// engine resolves topologies once per campaign, not per run.
+var topoCache = struct {
+	mu sync.Mutex
+	m  map[TopologySpec]*builtTopology
+}{m: make(map[TopologySpec]*builtTopology)}
+
+// resolve returns the cached build for t, constructing and caching it on
+// first use. Failures are not cached (they are cheap to re-diagnose).
+func (t TopologySpec) resolve() (*builtTopology, error) {
+	topoCache.mu.Lock()
+	defer topoCache.mu.Unlock()
+	if bt, ok := topoCache.m[t]; ok {
+		return bt, nil
+	}
+	bt, err := t.build()
+	if err != nil {
+		return nil, err
+	}
+	topoCache.m[t] = bt
+	return bt, nil
+}
+
+// ResetTopologyCache drops every memoised topology, forcing the next
+// campaign to rebuild from scratch. Exposed for tests (cache-cold vs
+// cache-warm determinism) and for long-lived processes that sweep many
+// one-off RGG layouts and want the memory back.
+func ResetTopologyCache() {
+	topoCache.mu.Lock()
+	defer topoCache.mu.Unlock()
+	topoCache.m = make(map[TopologySpec]*builtTopology)
 }
 
 func (t TopologySpec) build() (*builtTopology, error) {

@@ -22,8 +22,21 @@ type MsgStats struct {
 	Bytes uint64
 }
 
+// msgStatsSlots sizes the per-type stats array: wire types are small dense
+// constants, so accounting is an indexed add instead of a map lookup.
+const msgStatsSlots = int(wire.TypeData) + 1
+
 // Network assembles one simulated run: topology, radio, GCN engine, one
 // protocol node per WSN node, and the attacker.
+//
+// Construction is split into one-time wiring and per-run state. NewNetwork
+// wires the expensive immutable machinery — simulator, medium, engine,
+// node processes with their GCN action lists, radio receivers, slot tasks
+// — and Reset rewinds everything mutable (clocks, pools, protocol state,
+// counters, random streams, attackers) for a new (config, seed) without
+// reallocating, so arena-style callers replay thousands of runs on one
+// Network. A fresh NewNetwork is itself implemented as wiring + Reset, so
+// the two paths cannot drift apart.
 type Network struct {
 	cfg    Config
 	g      *topo.Graph
@@ -35,15 +48,17 @@ type Network struct {
 	medium *radio.Medium
 	engine *gcn.Engine
 	nodes  []*node
+	tasks  []*mac.SlotTask
 	atks   []*attacker.Attacker
 
 	timing    mac.Timing
-	deltaSS   int
+	deltaSS   int // hop distance sink→source; fixed by the topology
+	sinkEcc   int // max hop distance from the sink; fixed by the topology
 	dataStart time.Duration
 	deadline  time.Duration
 	delta     float64 // safety period in TDMA periods
 
-	msgStats     map[wire.Type]*MsgStats
+	msgStats     [msgStatsSlots]MsgStats
 	decodeErrors uint64
 	changedNodes int
 	searchSent   bool
@@ -53,87 +68,162 @@ type Network struct {
 	deliveryLatencies []int
 
 	failAt map[topo.NodeID]time.Duration
+
+	// Wire scratch: one decoder for the receive path and one outgoing
+	// message per type for the send path. The simulation is
+	// single-threaded and messages are consumed before the next is built,
+	// so per-network scratch makes the whole protocol layer frame traffic
+	// without allocating.
+	dec       wire.Decoder
+	outHello  wire.Hello
+	outDissem wire.Dissem
+	outSearch wire.Search
+	outChange wire.Change
+	outData   wire.Data
+	frame     []byte // marshal scratch
+
+	periodTick periodTick
+}
+
+// periodTick is the reusable period-boundary event that drives every
+// attacker's NextPeriod clock (§VI-C: the attackers know the period).
+type periodTick struct{ n *Network }
+
+func (p periodTick) Run() {
+	now := p.n.sim.Now()
+	for _, atk := range p.n.atks {
+		atk.NextPeriodAt(now)
+	}
 }
 
 // NewNetwork validates and wires up a run. The attacker starts at the sink
 // (as in the paper) regardless of cfg.Attacker.Start.
 func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if !g.Valid(sink) || !g.Valid(source) {
 		return nil, fmt.Errorf("core: invalid sink %d or source %d", sink, source)
 	}
 	if sink == source {
 		return nil, fmt.Errorf("core: sink and source must differ")
 	}
-	deltaSS := g.HopDistance(sink, source)
+	deltaSS, sinkEcc := -1, 0
+	for id, d := range g.BFSFrom(sink) {
+		if topo.NodeID(id) == source {
+			deltaSS = d
+		}
+		if d > sinkEcc {
+			sinkEcc = d
+		}
+	}
 	if deltaSS < 0 {
 		return nil, fmt.Errorf("core: source unreachable from sink")
 	}
+
+	sim := des.New()
+	net := &Network{
+		g:       g,
+		sink:    sink,
+		source:  source,
+		seed:    seed,
+		sim:     sim,
+		medium:  radio.New(sim, g, seed),
+		engine:  gcn.NewEngine(sim, 0),
+		deltaSS: deltaSS,
+		sinkEcc: sinkEcc,
+		failAt:  make(map[topo.NodeID]time.Duration),
+	}
+	net.periodTick = periodTick{n: net}
+
+	net.nodes = make([]*node, g.Len())
+	net.tasks = make([]*mac.SlotTask, g.Len())
+	for id := topo.NodeID(0); int(id) < g.Len(); id++ {
+		nd := newNode(id, net)
+		net.nodes[id] = nd
+		net.tasks[id] = mac.NewSlotTask(sim,
+			func() int {
+				if nd.slot == noValue {
+					return -1
+				}
+				return int(nd.slot)
+			},
+			nd.fireDataSlot,
+		)
+	}
+
+	if err := net.Reset(cfg, seed); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Reset rewinds the network for a fresh run with a new configuration and
+// seed on the same (graph, sink, source). Everything per-run — simulator
+// clock and queue, medium channel state and pools, GCN channels and
+// timers, node protocol state, random streams, counters, attackers — is
+// restored to its just-constructed state without reallocating the wiring,
+// so Reset costs a small fraction of NewNetwork. Two runs of the same
+// (config, seed) produce identical Results whether they share a Network
+// via Reset or use fresh ones; the arena tests pin this.
+//
+// Scheduled failures (FailNode) are cleared: re-inject them after Reset.
+func (n *Network) Reset(cfg Config, seed uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	factory, err := cfg.strategyFactory()
+	if err != nil {
+		return err
+	}
+
+	n.cfg = cfg
+	n.seed = seed
 
 	budget := cfg.EventBudget
 	if budget == 0 {
 		budget = 50_000_000
 	}
-	sim := des.New(des.WithEventBudget(budget))
-	loss := cfg.Loss
-	if loss == nil {
-		loss = radio.Ideal{}
-	}
-	medium := radio.New(sim, g, seed,
-		radio.WithLossModel(loss),
-		radio.WithCollisions(cfg.Collisions),
-	)
+	n.sim.Reset()
+	n.sim.SetEventBudget(budget)
+	n.medium.Reset(seed, cfg.Loss, cfg.Collisions)
+	n.engine.Reset()
 
-	net := &Network{
-		cfg:      cfg,
-		g:        g,
-		sink:     sink,
-		source:   source,
-		seed:     seed,
-		sim:      sim,
-		medium:   medium,
-		engine:   gcn.NewEngine(sim, 0),
-		timing:   cfg.Timing(),
-		deltaSS:  deltaSS,
-		msgStats: make(map[wire.Type]*MsgStats),
-		failAt:   make(map[topo.NodeID]time.Duration),
-	}
-
+	n.timing = cfg.Timing()
 	// Safety period (§VI-B): C = period × (Δss + 1); δ = Cs · C.
-	net.delta = cfg.SafetyFactor * float64(deltaSS+1)
-	net.dataStart = time.Duration(cfg.MinimumSetupPeriods) * net.timing.PeriodDuration()
-	net.deadline = net.dataStart + time.Duration(net.delta*float64(net.timing.PeriodDuration()))
+	n.delta = cfg.SafetyFactor * float64(n.deltaSS+1)
+	n.dataStart = time.Duration(cfg.MinimumSetupPeriods) * n.timing.PeriodDuration()
+	n.deadline = n.dataStart + time.Duration(n.delta*float64(n.timing.PeriodDuration()))
 
-	net.nodes = make([]*node, g.Len())
-	for id := topo.NodeID(0); int(id) < g.Len(); id++ {
-		net.nodes[id] = newNode(id, net)
+	for _, nd := range n.nodes {
+		nd.reset(seed)
 	}
+
+	n.msgStats = [msgStatsSlots]MsgStats{}
+	n.decodeErrors = 0
+	n.changedNodes = 0
+	n.searchSent = false
+	n.sourceDeliveries = 0
+	n.lastDeliveredSeq = 0
+	n.deliveryLatencies = n.deliveryLatencies[:0]
+	clear(n.failAt)
 
 	params := cfg.Attacker
-	params.Start = sink
+	params.Start = n.sink
 	var shared *attacker.HistoryStore
 	if cfg.SharedHistory {
 		shared = attacker.NewHistoryStore(params.H)
 	}
-	factory, err := cfg.strategyFactory()
-	if err != nil {
-		return nil, err
-	}
 	count := cfg.Attackers()
-	net.atks = make([]*attacker.Attacker, 0, count)
+	n.atks = n.atks[:0]
 	for i := 0; i < count; i++ {
-		atk, err := attacker.NewWithStrategy(g, params, factory(), source, seed, i)
+		atk, err := attacker.NewWithStrategy(n.g, params, factory(), n.source, seed, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if shared != nil {
 			atk.ShareHistory(shared)
 		}
-		net.atks = append(net.atks, atk)
+		n.atks = append(n.atks, atk)
 	}
-	return net, nil
+	return nil
 }
 
 // FailNode schedules node n to crash at the given absolute time (failure
@@ -180,19 +270,17 @@ func (n *Network) parentKey(child, parent topo.NodeID) uint64 {
 }
 
 // broadcast marshals and transmits a protocol message, accounting stats.
+// The message may live in the network's outgoing scratch; it is fully
+// consumed (framed and copied by the medium) before broadcast returns.
 func (n *Network) broadcast(from topo.NodeID, msg wire.Message) {
-	frame := wire.Marshal(msg)
-	st := n.msgStats[msg.Kind()]
-	if st == nil {
-		st = &MsgStats{}
-		n.msgStats[msg.Kind()] = st
-	}
+	n.frame = wire.AppendFrame(n.frame[:0], msg)
+	st := &n.msgStats[msg.Kind()]
 	st.Count++
-	st.Bytes += uint64(len(frame))
+	st.Bytes += uint64(len(n.frame))
 	if msg.Kind() == wire.TypeSearch {
 		n.searchSent = true
 	}
-	n.medium.Broadcast(from, frame)
+	n.medium.Broadcast(from, n.frame)
 }
 
 func (n *Network) recordSourceDelivery(seq uint32) {
@@ -211,21 +299,11 @@ func (n *Network) setup() error {
 	dissemStart := time.Duration(cfg.NeighbourDiscoveryPeriods)*cfg.DisseminationPeriod + cfg.BootJitter
 
 	for _, nd := range n.nodes {
-		nd := nd
-		// Radio → GCN delivery.
-		n.medium.SetReceiver(nd.id, func(from topo.NodeID, payload []byte) {
-			msg, err := wire.Unmarshal(payload)
-			if err != nil {
-				n.decodeErrors++
-				return
-			}
-			n.engine.Deliver(nd.prc, from, msg)
-		})
 		// Boot + neighbour discovery: NDP rounds of HELLO.
 		boot := nd.jitterDelay(cfg.BootJitter)
 		for k := 0; k < cfg.NeighbourDiscoveryPeriods; k++ {
 			at := boot + time.Duration(k)*cfg.DisseminationPeriod + nd.jitterDelay(cfg.DisseminationPeriod/2)
-			if _, err := n.sim.Schedule(at, nd.sendHello); err != nil {
+			if _, err := n.sim.Schedule(at, nd.helloFn); err != nil {
 				return err
 			}
 		}
@@ -265,41 +343,27 @@ func (n *Network) searchStartDelay() time.Duration {
 	}
 	// The assignment wave travels one hop per dissemination round; give it
 	// the network eccentricity plus the full resend budget, doubled for
-	// collision-resolution churn.
-	maxHop := 0
-	for _, d := range n.g.BFSFrom(n.sink) {
-		if d > maxHop {
-			maxHop = d
-		}
-	}
-	rounds := 2 * (maxHop + n.cfg.DisseminationTimeout + 4)
+	// collision-resolution churn. The eccentricity is a property of the
+	// (graph, sink) pair, precomputed at wiring time.
+	rounds := 2 * (n.sinkEcc + n.cfg.DisseminationTimeout + 4)
 	return time.Duration(rounds) * n.cfg.DisseminationPeriod
 }
 
 // startDataPhase arms the TDMA slot tasks, the attacker clock and the
 // capture stop condition.
 func (n *Network) startDataPhase() error {
-	for _, nd := range n.nodes {
-		nd := nd
-		if _, err := mac.StartSlotTask(n.sim, n.timing, n.dataStart,
-			func() int {
-				if nd.slot == noValue {
-					return -1
-				}
-				return int(nd.slot)
-			},
-			nd.fireDataSlot,
-		); err != nil {
+	for _, task := range n.tasks {
+		if err := task.Start(n.timing, n.dataStart); err != nil {
 			return err
 		}
 	}
 
 	for _, atk := range n.atks {
-		atk := atk
 		n.medium.AddObserver(atk)
 		// ActivateAt (not Activate) so a capture that exists at activation —
 		// the attacker already standing on the source — is stamped with the
 		// data-phase start time.
+		atk := atk
 		if _, err := n.sim.Schedule(n.dataStart, func() { atk.ActivateAt(n.dataStart) }); err != nil {
 			return err
 		}
@@ -311,11 +375,7 @@ func (n *Network) startDataPhase() error {
 	periods := int(math.Ceil(n.delta)) + 2
 	for k := 1; k <= periods; k++ {
 		at := n.dataStart + time.Duration(k)*n.timing.PeriodDuration()
-		if _, err := n.sim.Schedule(at, func() {
-			for _, atk := range n.atks {
-				atk.NextPeriodAt(at)
-			}
-		}); err != nil {
+		if err := n.sim.ScheduleRunner(at, &n.periodTick); err != nil {
 			return err
 		}
 	}
@@ -365,9 +425,9 @@ func (n *Network) NodeState(id topo.NodeID) NodeState {
 		Changed: nd.changed,
 	}
 	st.PotentialParents = sortedIDs(nd.npar)
-	st.KnownSlot = make(map[topo.NodeID]int, len(nd.ninfo))
-	for j, in := range nd.ninfo {
-		st.KnownSlot[j] = int(in.slot)
+	st.KnownSlot = make(map[topo.NodeID]int, nd.ninfo.len())
+	for k, j := range nd.ninfo.ids {
+		st.KnownSlot[j] = int(nd.ninfo.infos[k].slot)
 	}
 	return st
 }
@@ -417,7 +477,7 @@ func (n *Network) collect() *Result {
 		SafetyPeriod: n.delta,
 		DataStart:    n.dataStart,
 		Assignment:   n.Assignment(),
-		Messages:     make(map[wire.Type]MsgStats, len(n.msgStats)),
+		Messages:     make(map[wire.Type]MsgStats, msgStatsSlots),
 		RadioStats:   n.medium.Stats(),
 		DecodeErrors: n.decodeErrors,
 		ChangedNodes: n.changedNodes,
@@ -429,7 +489,9 @@ func (n *Network) collect() *Result {
 		CaptureBy:        -1,
 	}
 	for t, s := range n.msgStats {
-		res.Messages[t] = *s
+		if s.Count > 0 {
+			res.Messages[wire.Type(t)] = s
+		}
 	}
 	// Capture = the first eavesdropper to reach the source within the
 	// safety deadline; ties on time break by attacker index.

@@ -20,21 +20,67 @@ type info struct {
 
 const noValue int32 = wire.NoSlot // ⊥
 
+// infoTable is a node's Ninfo: (hop, slot, version) entries keyed by node
+// ID, stored as parallel slices kept sorted by ID. The table is consulted
+// on every guard evaluation of the GCN run-to-quiescence loop (the
+// collision-resolution guard scans it after every delivered message), so
+// it is built for allocation-free sorted iteration — the map + sort.Slice
+// it replaces was the simulator's single hottest call site.
+type infoTable struct {
+	ids   []topo.NodeID
+	infos []info
+}
+
+func (t *infoTable) len() int { return len(t.ids) }
+
+func (t *infoTable) search(id topo.NodeID) int {
+	return sort.Search(len(t.ids), func(k int) bool { return t.ids[k] >= id })
+}
+
+func (t *infoTable) get(id topo.NodeID) (info, bool) {
+	if i := t.search(id); i < len(t.ids) && t.ids[i] == id {
+		return t.infos[i], true
+	}
+	return info{}, false
+}
+
+func (t *infoTable) set(id topo.NodeID, in info) {
+	i := t.search(id)
+	if i < len(t.ids) && t.ids[i] == id {
+		t.infos[i] = in
+		return
+	}
+	t.ids = append(t.ids, 0)
+	copy(t.ids[i+1:], t.ids[i:])
+	t.ids[i] = id
+	t.infos = append(t.infos, info{})
+	copy(t.infos[i+1:], t.infos[i:])
+	t.infos[i] = in
+}
+
+func (t *infoTable) reset() {
+	t.ids = t.ids[:0]
+	t.infos = t.infos[:0]
+}
+
 // node executes the combined DAS / NSearch / SRefine program of
-// Figures 2–4 for one WSN process.
+// Figures 2–4 for one WSN process. Construction wires the immutable parts
+// (GCN actions, timers, radio receiver); everything else is per-run state
+// rewound by reset, so one node serves every run of an arena network.
 type node struct {
-	id  topo.NodeID
-	net *Network
-	prc *gcn.Process
-	rng *rand.Rand
+	id      topo.NodeID
+	net     *Network
+	prc     *gcn.Process
+	pcg     rand.PCG // owned so reset can reseed in place
+	rng     *rand.Rand
+	helloFn func() // cached method value; scheduled once per NDP round
 
 	// --- Figure 2 (DAS) state ---
 	myN      []topo.NodeID                        // discovered neighbours, sorted
-	myNSet   map[topo.NodeID]bool                 // membership view of myN
 	npar     map[topo.NodeID]bool                 // potential parents
 	children map[topo.NodeID]bool                 // nodes that chose us as parent
 	others   map[topo.NodeID]map[topo.NodeID]bool // per potential parent: slot competitors
-	ninfo    map[topo.NodeID]info                 // 1- and 2-hop neighbourhood info
+	ninfo    infoTable                            // 1- and 2-hop neighbourhood info
 	hop      int32                                // ⊥ = noValue
 	par      topo.NodeID                          // ⊥ = topo.None
 	slot     int32                                // ⊥ = noValue
@@ -60,24 +106,55 @@ type node struct {
 
 func newNode(id topo.NodeID, net *Network) *node {
 	n := &node{
-		id:            id,
-		net:           net,
-		rng:           xrand.New(net.seed, uint64(id), 0x6f64656e), // per-node stream
-		myNSet:        make(map[topo.NodeID]bool),
-		npar:          make(map[topo.NodeID]bool),
-		children:      make(map[topo.NodeID]bool),
-		others:        make(map[topo.NodeID]map[topo.NodeID]bool),
-		ninfo:         make(map[topo.NodeID]info),
-		hop:           noValue,
-		par:           topo.None,
-		slot:          noValue,
-		normal:        true,
-		from:          make(map[topo.NodeID]bool),
-		pendingOrigin: id,
+		id:       id,
+		net:      net,
+		npar:     make(map[topo.NodeID]bool),
+		children: make(map[topo.NodeID]bool),
+		others:   make(map[topo.NodeID]map[topo.NodeID]bool),
+		from:     make(map[topo.NodeID]bool),
 	}
+	n.rng = rand.New(&n.pcg)
+	n.helloFn = n.sendHello
 	n.prc = net.engine.NewProcess(id)
 	n.install()
+	// Radio → GCN delivery is wiring, not run state: register once.
+	net.medium.SetReceiver(id, func(from topo.NodeID, payload []byte) {
+		msg, err := net.dec.Unmarshal(payload)
+		if err != nil {
+			net.decodeErrors++
+			return
+		}
+		net.engine.Deliver(n.prc, from, msg)
+	})
+	n.reset(net.seed)
 	return n
+}
+
+// reset rewinds all per-run protocol state and reseeds the node's random
+// stream for the given run seed, leaving the wiring (process, actions,
+// receiver, timers) in place. A reset node is indistinguishable from a
+// freshly constructed one.
+func (n *node) reset(seed uint64) {
+	n.pcg.Seed(xrand.Seeds(seed, uint64(n.id), 0x6f64656e)) // per-node stream
+	n.myN = n.myN[:0]
+	clear(n.npar)
+	clear(n.children)
+	clear(n.others)
+	n.ninfo.reset()
+	n.hop = noValue
+	n.par = topo.None
+	n.slot = noValue
+	n.normal = true
+	n.version = 0
+	n.dissemBudget = 0
+	clear(n.from)
+	n.startNode = false
+	n.pr = 0
+	n.changed = false
+	n.pendingOrigin = n.id
+	n.pendingSeq = 0
+	n.pendingCount = 0
+	n.dataPeriod = 0
 }
 
 func (n *node) isSink() bool { return n.id == n.net.sink }
@@ -154,18 +231,28 @@ func matchDissem(normal bool) func(gcn.Message) bool {
 // --- neighbour discovery ---
 
 func (n *node) addNeighbour(m topo.NodeID) {
-	if m == n.id || n.myNSet[m] {
+	if m == n.id {
 		return
 	}
-	n.myNSet[m] = true
 	i := sort.Search(len(n.myN), func(i int) bool { return n.myN[i] >= m })
+	if i < len(n.myN) && n.myN[i] == m {
+		return
+	}
 	n.myN = append(n.myN, 0)
 	copy(n.myN[i+1:], n.myN[i:])
 	n.myN[i] = m
 }
 
+// knowsNeighbour reports m ∈ myN.
+func (n *node) knowsNeighbour(m topo.NodeID) bool {
+	i := sort.Search(len(n.myN), func(i int) bool { return n.myN[i] >= m })
+	return i < len(n.myN) && n.myN[i] == m
+}
+
 func (n *node) sendHello() {
-	n.net.broadcast(n.id, &wire.Hello{From: n.id})
+	h := &n.net.outHello
+	h.From = n.id
+	n.net.broadcast(n.id, h)
 }
 
 // --- Figure 2: DAS ---
@@ -176,7 +263,7 @@ func (n *node) sinkInit() {
 	n.par = topo.None
 	n.slot = int32(n.net.cfg.Slots) // Δ: never transmits
 	n.version++
-	n.ninfo[n.id] = info{hop: 0, slot: n.slot, version: n.version}
+	n.ninfo.set(n.id, info{hop: 0, slot: n.slot, version: n.version})
 	n.resetDissemination()
 }
 
@@ -216,13 +303,16 @@ func (n *node) armDissem() {
 	}
 }
 
-// buildDissem snapshots ⟨DISSEM, Normal, i, {Ninfo[j] | j ∈ myN}, par⟩.
+// buildDissem snapshots ⟨DISSEM, Normal, i, {Ninfo[j] | j ∈ myN}, par⟩
+// into the network's outgoing scratch message (valid until the next
+// broadcast, which is all a broadcast-and-forget sender needs).
 func (n *node) buildDissem() *wire.Dissem {
-	d := &wire.Dissem{From: n.id, Normal: n.normal, Parent: n.par}
-	d.Infos = make([]wire.NodeInfo, 0, len(n.myN)+1)
+	d := &n.net.outDissem
+	d.From, d.Normal, d.Parent = n.id, n.normal, n.par
+	d.Infos = d.Infos[:0]
 	d.Infos = append(d.Infos, wire.NodeInfo{Node: n.id, Hop: n.hop, Slot: n.slot, Version: n.version})
 	for _, m := range n.myN {
-		in, known := n.ninfo[m]
+		in, known := n.ninfo.get(m)
 		if !known {
 			d.Infos = append(d.Infos, wire.NodeInfo{Node: m, Hop: noValue, Slot: noValue})
 			continue
@@ -255,10 +345,10 @@ func (n *node) onDissem(sender topo.NodeID, d *wire.Dissem) {
 		if in.Node == n.id {
 			continue // never overwrite own state from the outside
 		}
-		cur, known := n.ninfo[in.Node]
+		cur, known := n.ninfo.get(in.Node)
 		if !known || in.Version > cur.version {
-			n.ninfo[in.Node] = info{hop: in.Hop, slot: in.Slot, version: in.Version}
-			if in.Node == sender || n.myNSet[in.Node] {
+			n.ninfo.set(in.Node, info{hop: in.Hop, slot: in.Slot, version: in.Version})
+			if in.Node == sender || n.knowsNeighbour(in.Node) {
 				learnedNeighbour = true
 			}
 		}
@@ -317,7 +407,7 @@ func (n *node) chooseSlot() {
 	// hop := min{h | (h, s) ∈ Ninfo[k], k ∈ Npar} + 1
 	minHop := int32(-1)
 	for _, k := range sortedIDs(n.npar) {
-		in, ok := n.ninfo[k]
+		in, ok := n.ninfo.get(k)
 		if !ok || in.hop == noValue || in.slot == noValue {
 			continue
 		}
@@ -340,7 +430,7 @@ func (n *node) chooseSlot() {
 	n.par = topo.None
 	var bestKey uint64
 	for _, k := range sortedIDs(n.npar) {
-		if in, ok := n.ninfo[k]; ok && in.hop == minHop {
+		if in, ok := n.ninfo.get(k); ok && in.hop == minHop {
 			key := n.net.parentKey(n.id, k)
 			if n.par == topo.None || key < bestKey {
 				n.par, bestKey = k, key
@@ -360,10 +450,11 @@ func (n *node) chooseSlot() {
 			rank++
 		}
 	}
-	n.setSlot(n.ninfo[n.par].slot - rank - 1)
+	parInfo, _ := n.ninfo.get(n.par)
+	n.setSlot(parInfo.slot - rank - 1)
 	// children := slotless neighbours (optimistic, refined by dissems).
 	for _, m := range n.myN {
-		if in, ok := n.ninfo[m]; !ok || in.slot == noValue {
+		if in, ok := n.ninfo.get(m); !ok || in.slot == noValue {
 			n.children[m] = true
 		}
 	}
@@ -373,7 +464,7 @@ func (n *node) chooseSlot() {
 func (n *node) setSlot(s int32) {
 	n.slot = s
 	n.version++
-	n.ninfo[n.id] = info{hop: n.hop, slot: n.slot, version: n.version}
+	n.ninfo.set(n.id, info{hop: n.hop, slot: n.slot, version: n.version})
 	n.resetDissemination()
 }
 
@@ -383,16 +474,18 @@ func (n *node) setSlot(s int32) {
 // ID; any consistent order works, and a fixed ID order imprints a spatial
 // slot bias towards high-ID grid regions that the paper's quadrant-
 // symmetric capture ratios do not exhibit — so we use a per-run seeded
-// order instead (see DESIGN.md, faithfulness notes).
+// order instead (see DESIGN.md, faithfulness notes). This guard is
+// re-evaluated after every executed action, so it scans the already-sorted
+// info table rather than sorting map keys per call.
 func (n *node) collisionLoser() topo.NodeID {
 	if n.slot == noValue || n.isSink() {
 		return topo.None
 	}
-	for _, j := range sortedInfoIDs(n.ninfo) {
+	for k, j := range n.ninfo.ids {
 		if j == n.id {
 			continue
 		}
-		in := n.ninfo[j]
+		in := n.ninfo.infos[k]
 		if in.slot != n.slot || in.slot == noValue {
 			continue
 		}
@@ -420,19 +513,26 @@ func (n *node) startSearch() {
 	if ttl <= 0 {
 		ttl = 4*n.net.cfg.SearchDistance + 8
 	}
-	n.net.broadcast(n.id, &wire.Search{
-		From:  n.id,
-		ANode: c,
-		Dist:  int32(n.net.cfg.SearchDistance),
-		TTL:   int32(ttl),
-	})
+	n.broadcastSearch(c, int32(n.net.cfg.SearchDistance), int32(ttl))
+}
+
+func (n *node) broadcastSearch(aNode topo.NodeID, dist, ttl int32) {
+	s := &n.net.outSearch
+	s.From, s.ANode, s.Dist, s.TTL = n.id, aNode, dist, ttl
+	n.net.broadcast(n.id, s)
+}
+
+func (n *node) broadcastChange(aNode topo.NodeID, nSlot, dist int32) {
+	c := &n.net.outChange
+	c.From, c.ANode, c.NSlot, c.Dist = n.id, aNode, nSlot, dist
+	n.net.broadcast(n.id, c)
 }
 
 func (n *node) minSlotChild() topo.NodeID {
 	best := topo.None
 	bestSlot := int32(0)
 	for _, c := range sortedIDs(n.children) {
-		in, ok := n.ninfo[c]
+		in, ok := n.ninfo.get(c)
 		if !ok || in.slot == noValue {
 			continue
 		}
@@ -454,7 +554,7 @@ func (n *node) lureTarget() topo.NodeID {
 	best := topo.None
 	bestSlot := int32(0)
 	for _, m := range n.myN {
-		in, ok := n.ninfo[m]
+		in, ok := n.ninfo.get(m)
 		if !ok || in.slot == noValue || int(in.slot) >= n.net.cfg.Slots {
 			continue
 		}
@@ -485,7 +585,7 @@ func (n *node) onSearch(sender topo.NodeID, s *wire.Search) {
 			target = n.chooseFrom(n.eligibleNeighbours(sender))
 		}
 		if target != topo.None {
-			n.net.broadcast(n.id, &wire.Search{From: n.id, ANode: target, Dist: 0, TTL: s.TTL - 1})
+			n.broadcastSearch(target, 0, s.TTL-1)
 		}
 	default:
 		// d > 0: follow the attacker's predicted gradient outwards.
@@ -497,7 +597,7 @@ func (n *node) onSearch(sender topo.NodeID, s *wire.Search) {
 			target = n.chooseFrom(n.eligibleNeighbours(sender))
 		}
 		if target != topo.None {
-			n.net.broadcast(n.id, &wire.Search{From: n.id, ANode: target, Dist: s.Dist - 1, TTL: s.TTL - 1})
+			n.broadcastSearch(target, s.Dist-1, s.TTL-1)
 		}
 	}
 }
@@ -560,7 +660,7 @@ func (n *node) startRefinement() {
 	if aNode == topo.None {
 		return
 	}
-	n.net.broadcast(n.id, &wire.Change{From: n.id, ANode: aNode, NSlot: n.minKnownSlot(), Dist: n.pr - 1})
+	n.broadcastChange(aNode, n.minKnownSlot(), n.pr-1)
 }
 
 // minKnownSlot returns min over every known slot including our own — the
@@ -569,8 +669,8 @@ func (n *node) startRefinement() {
 // 2-hop collisions.
 func (n *node) minKnownSlot() int32 {
 	min := n.slot
-	for _, j := range sortedInfoIDs(n.ninfo) {
-		in := n.ninfo[j]
+	for k := range n.ninfo.ids {
+		in := n.ninfo.infos[k]
 		if in.slot == noValue || int(in.slot) >= n.net.cfg.Slots {
 			continue // sink's Δ and unknowns do not count
 		}
@@ -602,7 +702,7 @@ func (n *node) onChange(sender topo.NodeID, c *wire.Change) {
 	if c.Dist > 0 {
 		next := n.chooseFrom(n.eligibleNeighbours(sender))
 		if next != topo.None {
-			n.net.broadcast(n.id, &wire.Change{From: n.id, ANode: next, NSlot: n.minKnownSlot(), Dist: c.Dist - 1})
+			n.broadcastChange(next, n.minKnownSlot(), c.Dist-1)
 		}
 	}
 }
@@ -612,7 +712,8 @@ func (n *node) onChange(sender topo.NodeID, c *wire.Change) {
 // fireDataSlot is the TDMA slot task callback: flood one DATA frame.
 func (n *node) fireDataSlot(period int) {
 	n.dataPeriod = period
-	d := &wire.Data{From: n.id}
+	d := &n.net.outData
+	d.From = n.id
 	if n.id == n.net.source {
 		d.Origin = n.id
 		d.Seq = uint32(period)
@@ -646,15 +747,6 @@ func (n *node) onData(_ topo.NodeID, d *wire.Data) {
 func sortedIDs(set map[topo.NodeID]bool) []topo.NodeID {
 	out := make([]topo.NodeID, 0, len(set))
 	for k := range set {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedInfoIDs(m map[topo.NodeID]info) []topo.NodeID {
-	out := make([]topo.NodeID, 0, len(m))
-	for k := range m {
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

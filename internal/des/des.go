@@ -147,6 +147,31 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // resume exactly where it stopped.
 func (s *Simulator) SetEventBudget(n uint64) { s.maxEvents = n }
 
+// Reset rewinds the simulator to virtual time zero with an empty queue,
+// recycling every still-queued event box into the free list. A reset
+// simulator is indistinguishable from a fresh New (same clock, sequence
+// numbering and budget accounting) except that its internal pools stay
+// warm — the point of reusing one simulator across arena runs. Event
+// handles issued before the Reset become inert: never Pending, never able
+// to cancel a recycled box's next occupant. Cancelled boxes are dropped
+// without recycling, exactly as RunUntil reaps them, so Cancelled() keeps
+// answering truthfully across resets. The event budget is preserved; use
+// SetEventBudget to change it.
+func (s *Simulator) Reset() {
+	for i := range s.queue {
+		b := s.queue[i].box
+		s.queue[i] = entry{}
+		if !b.cancelled {
+			s.releaseBox(b)
+		}
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.executed = 0
+	s.stopped = false
+}
+
 // --- 4-ary heap ---
 //
 // A 4-ary implicit heap halves the tree depth of the binary heap the

@@ -367,3 +367,71 @@ func TestEventTimeAccessor(t *testing.T) {
 		t.Errorf("Time() = %v, want 42ms", e.Time())
 	}
 }
+
+// TestResetRewindsSimulator: after Reset the simulator behaves exactly
+// like a fresh New — clock at zero, empty queue, counters cleared, old
+// handles inert — while keeping its recycled boxes warm.
+func TestResetRewindsSimulator(t *testing.T) {
+	s := New(WithEventBudget(100))
+	var fired int
+	ev, err := s.Schedule(5*time.Millisecond, func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := s.ScheduleAfter(10*time.Millisecond, func() { fired++ })
+	stale.Cancel()
+	if err := s.RunUntil(6 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d before reset", fired)
+	}
+
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Executed() != 0 {
+		t.Errorf("after Reset: now=%v pending=%d executed=%d", s.Now(), s.Pending(), s.Executed())
+	}
+	// Handles from before the Reset are inert: not pending, and a
+	// previously cancelled handle keeps answering Cancelled() truthfully
+	// (its box is dropped un-recycled, as RunUntil's reaper does).
+	if ev.Pending() || ev.Cancelled() || stale.Pending() {
+		t.Errorf("stale handles still live: ev(%v,%v) stale pending=%v",
+			ev.Pending(), ev.Cancelled(), stale.Pending())
+	}
+	if !stale.Cancelled() {
+		t.Errorf("cancelled handle lost its truthful answer across Reset")
+	}
+	// Cancelling a stale handle must not touch the recycled box's next
+	// occupant.
+	next := s.ScheduleAfter(time.Millisecond, func() { fired += 10 })
+	stale.Cancel()
+	ev.Cancel()
+	if !next.Pending() {
+		t.Fatalf("stale Cancel leaked into the recycled box")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 11 {
+		t.Errorf("fired = %d after reset run, want 11", fired)
+	}
+}
+
+// TestResetPreservesEventBudget: the executed-event counter rewinds to
+// zero but the configured budget stays in force across Reset.
+func TestResetPreservesEventBudget(t *testing.T) {
+	s := New(WithEventBudget(1))
+	s.ScheduleAfter(0, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("first run within budget: %v", err)
+	}
+	s.Reset()
+	s.ScheduleAfter(0, func() {})
+	s.ScheduleAfter(0, func() {})
+	if err := s.Run(); !errors.Is(err, ErrEventBudget) {
+		t.Errorf("err = %v, want ErrEventBudget (budget must survive Reset)", err)
+	}
+	if s.Executed() != 1 {
+		t.Errorf("executed = %d after reset run, want 1", s.Executed())
+	}
+}

@@ -62,6 +62,28 @@ func RunSingle(g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed ui
 	return net.Run()
 }
 
+// RunReusable is RunSingle over a caller-held reusable network slot: a nil
+// *net wires a fresh network into the slot, later calls rewind it with
+// Reset. A network that fails to reset (bad per-cell config) is discarded
+// — the slot is nilled — so the next run starts from clean wiring. This is
+// the single wire-or-reset policy shared by this package's workers and the
+// campaign engine's per-topology arenas.
+func RunReusable(net **core.Network, g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed uint64) (*core.Result, error) {
+	if *net == nil {
+		n, err := core.NewNetwork(g, sink, source, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		*net = n
+		return n.Run()
+	}
+	if err := (*net).Reset(cfg, seed); err != nil {
+		*net = nil
+		return nil, err
+	}
+	return (*net).Run()
+}
+
 // AggregateResults summarises already-computed per-run results of one
 // cell. Nil entries (failed runs) are skipped; callers account failures
 // separately. Exposed so external schedulers (internal/campaign) can run
@@ -130,9 +152,14 @@ func Run(spec Spec) (*Aggregate, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Arena: each worker wires one network on its first repeat and
+			// replays it via Reset for the rest — Reset is pinned to produce
+			// results identical to a fresh NewNetwork, so output stays a pure
+			// function of the spec regardless of worker count.
+			var net *core.Network
 			for r := range jobs {
 				seed := spec.BaseSeed + uint64(r)
-				res, err := RunSingle(g, sink, source, spec.Config, seed)
+				res, err := RunReusable(&net, g, sink, source, spec.Config, seed)
 				if err != nil {
 					errs[r] = fmt.Errorf("experiment: seed %d: %w", seed, err)
 					continue

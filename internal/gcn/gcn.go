@@ -44,6 +44,9 @@ type Timer struct {
 	proc    *Process
 	event   des.Event
 	expired bool
+	// fire is the expiry body, built once at NewTimer so re-arming a timer
+	// in the dissemination hot loop never allocates a fresh closure.
+	fire func()
 }
 
 // Set (re-)arms the timer to fire after d, cancelling any pending expiry.
@@ -51,13 +54,7 @@ type Timer struct {
 func (t *Timer) Set(d time.Duration) {
 	t.event.Cancel()
 	t.expired = false
-	t.event = t.proc.engine.sim.ScheduleAfter(d, func() {
-		// Clear the handle before stimulating: a fired event is no longer
-		// armed, and the zero handle keeps Pending() honest.
-		t.event = des.Event{}
-		t.expired = true
-		t.proc.engine.stimulate(t.proc)
-	})
+	t.event = t.proc.engine.sim.ScheduleAfter(d, t.fire)
 }
 
 // Stop cancels the timer without expiring it.
@@ -96,10 +93,15 @@ type action struct {
 // Process is a GCN process: an ordered action list, a channel variable and
 // a set of timers. Create via Engine.NewProcess.
 type Process struct {
-	id      topo.NodeID
-	engine  *Engine
-	inbox   []envelope
-	actions []*action
+	id     topo.NodeID
+	engine *Engine
+	// inbox is the channel variable as a head-indexed queue: consumed
+	// entries advance head instead of re-slicing, and once the queue
+	// drains both reset to zero so the backing array is reused — Deliver
+	// is allocation-free in steady state.
+	inbox     []envelope
+	inboxHead int
+	actions   []*action
 	// Dropped counts head-of-channel messages no receive action matched.
 	dropped uint64
 	failed  error
@@ -115,7 +117,28 @@ func (p *Process) Dropped() uint64 { return p.dropped }
 func (p *Process) Err() error { return p.failed }
 
 // QueueLen returns the number of undelivered messages in the channel.
-func (p *Process) QueueLen() int { return len(p.inbox) }
+func (p *Process) QueueLen() int { return len(p.inbox) - p.inboxHead }
+
+// Reset rewinds the process for a fresh run: the channel variable is
+// emptied, drop/failure accounting cleared and every timer disarmed. The
+// action list — the program — is preserved, so one wired process serves
+// many runs. The owning simulator must be Reset alongside (stale timer
+// events are discarded there; handles here are zeroed to match).
+func (p *Process) Reset() {
+	for i := range p.inbox {
+		p.inbox[i] = envelope{}
+	}
+	p.inbox = p.inbox[:0]
+	p.inboxHead = 0
+	p.dropped = 0
+	p.failed = nil
+	for _, a := range p.actions {
+		if a.kind == kindTimeout {
+			a.timer.event = des.Event{}
+			a.timer.expired = false
+		}
+	}
+}
 
 // AddGuard appends a plain guarded action: when guard() is true and no
 // earlier action is enabled, command() runs.
@@ -134,6 +157,13 @@ func (p *Process) AddReceive(name string, match func(Message) bool, handle func(
 // may re-arm the timer with Set.
 func (p *Process) NewTimer(name string, command func()) *Timer {
 	t := &Timer{name: name, proc: p}
+	t.fire = func() {
+		// Clear the handle before stimulating: a fired event is no longer
+		// armed, and the zero handle keeps Pending() honest.
+		t.event = des.Event{}
+		t.expired = true
+		t.proc.engine.stimulate(t.proc)
+	}
 	p.actions = append(p.actions, &action{name: name, kind: kindTimeout, timer: t, command: command})
 	return t
 }
@@ -170,6 +200,11 @@ func (e *Engine) NewProcess(id topo.NodeID) *Process {
 // Deliver enqueues msg from sender on p's channel variable and runs p to
 // quiescence. This is how the radio hands received frames to a protocol.
 func (e *Engine) Deliver(p *Process, sender topo.NodeID, msg Message) {
+	if p.inboxHead == len(p.inbox) {
+		// Queue is drained: rewind so the backing array is reused.
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
 	p.inbox = append(p.inbox, envelope{sender: sender, msg: msg})
 	e.stimulate(p)
 }
@@ -177,6 +212,15 @@ func (e *Engine) Deliver(p *Process, sender topo.NodeID, msg Message) {
 // Kickstart runs p to quiescence with no new stimulus — used once at boot
 // so that initially-enabled actions (e.g. the sink's init) execute.
 func (e *Engine) Kickstart(p *Process) { e.stimulate(p) }
+
+// Reset rewinds every hosted process (see Process.Reset) for a fresh run
+// on a Reset simulator. Processes, their action lists and the OnAction
+// hook survive; only per-run channel/timer/failure state is cleared.
+func (e *Engine) Reset() {
+	for _, p := range e.procs {
+		p.Reset()
+	}
+}
 
 // Err returns the first process error encountered, if any.
 func (e *Engine) Err() error {
@@ -212,9 +256,10 @@ func (e *Engine) stimulate(p *Process) {
 func (p *Process) stepOnce(e *Engine) bool {
 	// Channel head first: receive actions have rcv guards that depend on
 	// the head message, evaluated in declaration order.
-	if len(p.inbox) > 0 {
-		head := p.inbox[0]
-		p.inbox = p.inbox[1:]
+	if p.inboxHead < len(p.inbox) {
+		head := p.inbox[p.inboxHead]
+		p.inbox[p.inboxHead] = envelope{} // release the message reference
+		p.inboxHead++
 		for _, a := range p.actions {
 			if a.kind != kindReceive {
 				continue

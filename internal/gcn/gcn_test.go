@@ -324,3 +324,46 @@ func TestProcessID(t *testing.T) {
 		t.Errorf("ID = %d, want 42", p.ID())
 	}
 }
+
+// TestEngineResetRewindsProcesses: Reset empties channels, clears drop and
+// failure accounting and disarms timers, while the installed program and
+// the engine's simulator keep working for the next run.
+func TestEngineResetRewindsProcesses(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 5)
+	p := e.NewProcess(1)
+	var got []int
+	p.AddReceive("ping", func(m Message) bool { _, ok := m.(ping); return ok }, func(_ topo.NodeID, m Message) {
+		got = append(got, m.(ping).n)
+	})
+	tm := p.NewTimer("tick", func() {})
+	tm.Set(time.Second)
+
+	e.Deliver(p, 2, ping{1})
+	e.Deliver(p, 2, pong{9}) // dropped: no matching receive
+	for i := 0; i < 10; i++ {
+		p.inbox = append(p.inbox, envelope{sender: 2, msg: ping{i}})
+	}
+	e.stimulate(p) // overruns the 5-step budget → failed
+	if p.Err() == nil {
+		t.Fatal("expected step-budget failure before reset")
+	}
+
+	sim.Reset()
+	e.Reset()
+	if p.Err() != nil || p.Dropped() != 0 || p.QueueLen() != 0 {
+		t.Errorf("after Reset: err=%v dropped=%d queue=%d", p.Err(), p.Dropped(), p.QueueLen())
+	}
+	if tm.Pending() || tm.Expired() {
+		t.Errorf("timer survived Reset: pending=%v expired=%v", tm.Pending(), tm.Expired())
+	}
+	got = got[:0]
+	e.Deliver(p, 2, ping{42})
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("program broken after Reset: got %v", got)
+	}
+	tm.Set(time.Millisecond)
+	if !tm.Pending() {
+		t.Errorf("timer unusable after Reset")
+	}
+}

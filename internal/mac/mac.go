@@ -90,19 +90,39 @@ func (f *fireEvent) Run() {
 	}
 }
 
+// NewSlotTask wires a slot task without starting it: the one-time half of
+// StartSlotTask. Arena-style callers construct the task (and its callback
+// closures) once per node and re-arm it each run with Start.
+func NewSlotTask(sim *des.Simulator, slot func() int, fire func(period int)) *SlotTask {
+	st := &SlotTask{sim: sim, slot: slot, fire: fire}
+	st.fireEv.st = st
+	return st
+}
+
+// Start (re-)arms the task: period counting restarts at 0 with the given
+// timing and epoch. Restarting after the owning simulator was Reset is the
+// supported reuse path — any events the previous run left behind were
+// discarded by that Reset.
+func (st *SlotTask) Start(timing Timing, epoch time.Duration) error {
+	if err := timing.Validate(); err != nil {
+		return err
+	}
+	if epoch < st.sim.Now() {
+		return fmt.Errorf("mac: epoch %v is in the past (now %v)", epoch, st.sim.Now())
+	}
+	st.timing = timing
+	st.epoch = epoch
+	st.stopped = false
+	st.period = 0
+	return st.sim.ScheduleRunner(epoch, st)
+}
+
 // StartSlotTask begins per-period slot firing at absolute time epoch
 // (the start of period 0). slot is polled at each period start; fire runs
 // at the slot's offset within the period.
 func StartSlotTask(sim *des.Simulator, timing Timing, epoch time.Duration, slot func() int, fire func(period int)) (*SlotTask, error) {
-	if err := timing.Validate(); err != nil {
-		return nil, err
-	}
-	if epoch < sim.Now() {
-		return nil, fmt.Errorf("mac: epoch %v is in the past (now %v)", epoch, sim.Now())
-	}
-	st := &SlotTask{sim: sim, timing: timing, epoch: epoch, slot: slot, fire: fire}
-	st.fireEv.st = st
-	if err := sim.ScheduleRunner(epoch, st); err != nil {
+	st := NewSlotTask(sim, slot, fire)
+	if err := st.Start(timing, epoch); err != nil {
 		return nil, err
 	}
 	return st, nil

@@ -79,6 +79,7 @@ type Medium struct {
 	g          *topo.Graph
 	loss       LossModel
 	collisions bool
+	pcg        rand.PCG // owned so Reset can reseed rng in place
 	rng        *rand.Rand
 	bitrate    int
 	overhead   time.Duration
@@ -205,7 +206,6 @@ func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium
 		sim:       sim,
 		g:         g,
 		loss:      Ideal{},
-		rng:       xrand.NewNamed(seed, "radio"),
 		bitrate:   DefaultBitrate,
 		overhead:  DefaultFrameOverhead,
 		propDelay: DefaultPropagationDelay,
@@ -214,10 +214,38 @@ func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium
 		rxEnd:     make([]time.Duration, g.Len()),
 		rxLatest:  make([]*delivery, g.Len()),
 	}
+	m.pcg.Seed(xrand.SeedsNamed(seed, "radio"))
+	m.rng = rand.New(&m.pcg)
 	for _, o := range opts {
 		o(m)
 	}
 	return m
+}
+
+// Reset rewinds the medium for a fresh run on the same graph: the random
+// stream is reseeded in place, the channel model swapped for the new run's
+// configuration, and all per-run state — failed nodes, collision windows,
+// observers, counters — cleared. Registered receivers survive (they are
+// wiring, not run state), as do the event, frame and scan pools, which is
+// the point: a Reset medium broadcasts with warm pools from its first
+// frame. The owning simulator must be Reset alongside so in-flight
+// delivery events from the previous run are discarded. A nil loss model
+// selects Ideal, mirroring New's default.
+func (m *Medium) Reset(seed uint64, loss LossModel, collisions bool) {
+	if loss == nil {
+		loss = Ideal{}
+	}
+	m.loss = loss
+	m.collisions = collisions
+	m.pcg.Seed(xrand.SeedsNamed(seed, "radio"))
+	for i := range m.disabled {
+		m.disabled[i] = false
+		m.rxEnd[i] = 0
+		m.rxLatest[i] = nil
+	}
+	m.observers = m.observers[:0]
+	m.nextObsID = 0
+	m.stats = Stats{}
 }
 
 // SetReceiver registers the frame consumer for node n.

@@ -571,3 +571,51 @@ func TestLossModelNames(t *testing.T) {
 		t.Error("RSSINoise name")
 	}
 }
+
+// TestMediumResetClearsRunState: Reset rewinds failed nodes, observers,
+// collision windows and counters, swaps the channel model, and reseeds
+// the loss stream so a reset medium replays a fresh medium's draws —
+// while registered receivers (wiring) survive.
+func TestMediumResetClearsRunState(t *testing.T) {
+	g, err := topo.Line(3, 4.5, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	m := New(sim, g, 1, WithCollisions(true))
+	var got int
+	m.SetReceiver(1, func(topo.NodeID, []byte) { got++ })
+	obs := &fixedObserver{pos: g.Position(0)}
+	m.AddObserver(obs)
+	m.DisableNode(2)
+	m.Broadcast(0, []byte{1, 2, 3})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 || len(obs.seen) != 1 {
+		t.Fatalf("pre-reset run: deliveries=%d observations=%d", got, len(obs.seen))
+	}
+
+	sim.Reset()
+	m.Reset(1, nil, true)
+	if m.NodeDisabled(2) {
+		t.Errorf("DisableNode survived Reset")
+	}
+	if st := m.Stats(); st != (Stats{}) {
+		t.Errorf("stats survived Reset: %+v", st)
+	}
+	obs.seen = nil
+	m.Broadcast(0, []byte{1, 2, 3})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.seen) != 0 {
+		t.Errorf("observer survived Reset: heard %d", len(obs.seen))
+	}
+	if got != 2 {
+		t.Errorf("receiver wiring did not survive Reset: deliveries=%d", got)
+	}
+	if st := m.Stats(); st.Broadcasts != 1 || st.Deliveries != 1 {
+		t.Errorf("post-reset stats: %+v", st)
+	}
+}

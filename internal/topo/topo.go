@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID is the unique identifier of a WSN node. IDs are dense indices in
@@ -37,12 +38,24 @@ func (p Point) String() string {
 
 // Graph is an immutable undirected WSN topology. Adjacency lists are sorted
 // by node ID so that every iteration order in the system is deterministic.
+//
+// Adjacency is stored in CSR (compressed sparse row) form — one flat
+// neighbour slice plus per-node offsets — so a whole campaign of runs
+// iterating neighbourhoods walks contiguous memory, and the graph can be
+// shared read-only across worker goroutines. The two-hop collision
+// neighbourhoods of Definition 1 are materialised the same way, lazily, on
+// first use.
 type Graph struct {
 	name       string
 	positions  []Point
-	adj        [][]NodeID
+	adj        [][]NodeID // adj[i] slices adjFlat; kept for cheap Neighbors
+	adjFlat    []NodeID
 	radioRange float64
 	edgeCount  int
+
+	twoHopOnce sync.Once
+	twoHop     [][]NodeID // twoHop[i] slices twoHopFlat
+	twoHopFlat []NodeID
 }
 
 // NewGraph builds a unit-disk graph over the given positions: nodes i and j
@@ -58,21 +71,39 @@ func NewGraph(name string, positions []Point, radioRange float64) (*Graph, error
 	g := &Graph{
 		name:       name,
 		positions:  append([]Point(nil), positions...),
-		adj:        make([][]NodeID, len(positions)),
 		radioRange: radioRange,
 	}
 	const eps = 1e-9
+	degree := make([]int32, len(positions))
+	type edge struct{ a, b NodeID }
+	var edges []edge
 	for i := range positions {
 		for j := i + 1; j < len(positions); j++ {
 			if positions[i].DistanceTo(positions[j]) <= radioRange+eps {
-				g.adj[i] = append(g.adj[i], NodeID(j))
-				g.adj[j] = append(g.adj[j], NodeID(i))
+				edges = append(edges, edge{NodeID(i), NodeID(j)})
+				degree[i]++
+				degree[j]++
 				g.edgeCount++
 			}
 		}
 	}
+	// Flatten into CSR: edges were found in (i, j) ascending order, so
+	// filling each node's slot range in edge order keeps lists sorted.
+	g.adjFlat = make([]NodeID, 2*len(edges))
+	g.adj = make([][]NodeID, len(positions))
+	off := 0
+	for i, d := range degree {
+		g.adj[i] = g.adjFlat[off : off : off+int(d)]
+		off += int(d)
+	}
+	for _, e := range edges {
+		g.adj[e.a] = append(g.adj[e.a], e.b)
+		g.adj[e.b] = append(g.adj[e.b], e.a)
+	}
 	for i := range g.adj {
-		sort.Slice(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] })
+		if !sort.SliceIsSorted(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] }) {
+			sort.Slice(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] })
+		}
 	}
 	return g, nil
 }
@@ -119,21 +150,48 @@ func (g *Graph) HasEdge(a, b NodeID) bool {
 
 // TwoHop returns CG(n): the set of nodes within two hops of n, excluding n
 // itself, sorted by ID. This is the collision neighbourhood of Definition 1.
+// The whole two-hop CSR is materialised once per graph on first call and
+// shared thereafter (schedule validation walks it once per run, and a
+// campaign replays thousands of runs on one graph); the returned slice is
+// shared and must not be modified.
 func (g *Graph) TwoHop(n NodeID) []NodeID {
-	seen := make(map[NodeID]struct{}, 4*len(g.adj[n])+1)
-	for _, m := range g.adj[n] {
-		seen[m] = struct{}{}
-		for _, o := range g.adj[m] {
-			seen[o] = struct{}{}
+	g.twoHopOnce.Do(g.buildTwoHop)
+	return g.twoHop[n]
+}
+
+func (g *Graph) buildTwoHop() {
+	n := len(g.positions)
+	// Stamp-based membership avoids a map per node; sets stay sorted by a
+	// final per-node sort, matching the original per-call construction.
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var flat []NodeID
+	cut := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		start := len(flat)
+		for _, m := range g.adj[i] {
+			if stamp[m] != int32(i) && int(m) != i {
+				stamp[m] = int32(i)
+				flat = append(flat, m)
+			}
+			for _, o := range g.adj[m] {
+				if stamp[o] != int32(i) && int(o) != i {
+					stamp[o] = int32(i)
+					flat = append(flat, o)
+				}
+			}
 		}
+		set := flat[start:]
+		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+		cut[i+1] = len(flat)
 	}
-	delete(seen, n)
-	out := make([]NodeID, 0, len(seen))
-	for m := range seen {
-		out = append(out, m)
+	g.twoHopFlat = flat
+	g.twoHop = make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		g.twoHop[i] = flat[cut[i]:cut[i+1]:cut[i+1]]
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
 }
 
 // BFSFrom returns hop distances from root to every node; unreachable nodes

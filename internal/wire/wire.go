@@ -152,13 +152,20 @@ var (
 
 // Marshal encodes m into a fresh frame.
 func Marshal(m Message) []byte {
-	buf := make([]byte, 0, 64)
+	return AppendFrame(make([]byte, 0, 64), m)
+}
+
+// AppendFrame encodes m onto buf and returns the extended slice. Hot
+// senders keep one scratch buffer and call AppendFrame(buf[:0], m) so
+// steady-state framing allocates nothing (the radio copies payloads, so
+// the buffer is free for reuse as soon as Broadcast returns).
+func AppendFrame(buf []byte, m Message) []byte {
 	buf = append(buf, byte(m.Kind()))
 	return m.appendBody(buf)
 }
 
-// Unmarshal decodes a frame produced by Marshal. The entire input must be
-// consumed.
+// Unmarshal decodes a frame produced by Marshal into a fresh message. The
+// entire input must be consumed.
 func Unmarshal(data []byte) (Message, error) {
 	if len(data) == 0 {
 		return nil, ErrTruncated
@@ -175,6 +182,50 @@ func Unmarshal(data []byte) (Message, error) {
 		m = &Change{}
 	case TypeData:
 		m = &Data{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, data[0])
+	}
+	rest, err := m.decodeBody(data[1:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(rest))
+	}
+	return m, nil
+}
+
+// Decoder decodes frames into per-type scratch messages it owns, so a hot
+// receive path (one decode per radio delivery) allocates nothing in steady
+// state. The returned Message is valid only until the next Unmarshal call
+// on the same Decoder; receivers that retain messages must use the
+// package-level Unmarshal instead. The zero Decoder is ready to use.
+type Decoder struct {
+	hello  Hello
+	dissem Dissem
+	search Search
+	change Change
+	data   Data
+}
+
+// Unmarshal decodes a frame into the decoder's scratch message for its
+// type. Same validation as the package-level Unmarshal.
+func (d *Decoder) Unmarshal(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	switch Type(data[0]) {
+	case TypeHello:
+		m = &d.hello
+	case TypeDissem:
+		m = &d.dissem
+	case TypeSearch:
+		m = &d.search
+	case TypeChange:
+		m = &d.change
+	case TypeData:
+		m = &d.data
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, data[0])
 	}
@@ -283,7 +334,13 @@ func (d *Dissem) decodeBody(data []byte) ([]byte, error) {
 	if count > maxInfos {
 		return nil, fmt.Errorf("%w: info count %d", ErrTruncated, count)
 	}
-	d.Infos = make([]NodeInfo, 0, count)
+	// Reuse the Infos backing array when decoding into a recycled message
+	// (Decoder scratch); fresh messages allocate exactly as before.
+	if uint64(cap(d.Infos)) < count {
+		d.Infos = make([]NodeInfo, 0, count)
+	} else {
+		d.Infos = d.Infos[:0]
+	}
 	for i := uint64(0); i < count; i++ {
 		var info NodeInfo
 		v, data, err = readInt(data)

@@ -49,17 +49,30 @@ func MixString(seed uint64, label string) uint64 {
 	return Mix(seed, h)
 }
 
+// Seeds returns the PCG seed pair New derives from seed and labels.
+// Components that own their PCG state (so a run Reset can reseed the
+// generator in place instead of allocating a fresh one) use this to stay
+// stream-identical with New.
+func Seeds(seed uint64, labels ...uint64) (uint64, uint64) {
+	mixed := Mix(seed, labels...)
+	return mixed, SplitMix64(mixed)
+}
+
+// SeedsNamed is Seeds for a named component, matching NewNamed.
+func SeedsNamed(seed uint64, label string) (uint64, uint64) {
+	mixed := MixString(seed, label)
+	return mixed, SplitMix64(mixed)
+}
+
 // New returns a PCG-backed *rand.Rand seeded from seed and the given
 // labels.
 func New(seed uint64, labels ...uint64) *rand.Rand {
-	mixed := Mix(seed, labels...)
-	return rand.New(rand.NewPCG(mixed, SplitMix64(mixed)))
+	return rand.New(rand.NewPCG(Seeds(seed, labels...)))
 }
 
 // NewNamed returns a PCG-backed *rand.Rand for a named component.
 func NewNamed(seed uint64, label string) *rand.Rand {
-	mixed := MixString(seed, label)
-	return rand.New(rand.NewPCG(mixed, SplitMix64(mixed)))
+	return rand.New(rand.NewPCG(SeedsNamed(seed, label)))
 }
 
 // Jitter returns a uniformly distributed duration in [0, max). A max of

@@ -1,0 +1,79 @@
+package slpdas_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"slpdas"
+	"slpdas/internal/campaign"
+)
+
+// sweepCompatSpec is the repeat-heavy campaign pinned by the golden: two
+// grids × two collision settings × both protocols, 12 repeats per cell, so
+// every worker's arena rewinds one network many times across repeats AND
+// across config cells (protocol and collision model change between cells
+// sharing a topology).
+func sweepCompatSpec(workers int) campaign.Spec {
+	return campaign.Spec{
+		GridSizes:       []int{5, 7},
+		SearchDistances: []int{2},
+		Collisions:      []bool{false, true},
+		Repeats:         12,
+		BaseSeed:        7,
+		Workers:         workers,
+	}
+}
+
+// TestSweepBackwardCompatible pins the acceptance criterion of the
+// memoized-setup/arena rebuild: campaign JSONL output must be
+// byte-identical to the pre-arena engine, which re-resolved the topology
+// and rebuilt a fresh core.Network for every single repeat. The golden was
+// generated at the last commit before the arena landed. A diff here means
+// Network.Reset does not perfectly rewind some piece of run state.
+func TestSweepBackwardCompatible(t *testing.T) {
+	want, err := os.ReadFile("testdata/sweep_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var buf bytes.Buffer
+	sink := campaign.NewJSONL(&buf)
+	if _, err := slpdas.RunCampaign(sweepCompatSpec(4), sink); err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sweep output diverged from the pre-arena golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkersAndCacheWarmth proves the topology
+// cache and per-worker arenas never leak into results: the same spec
+// yields byte-identical rows at 1, 4 and 8 workers (different arena
+// reuse patterns), and with a cold vs warm process-wide topology cache.
+func TestSweepDeterministicAcrossWorkersAndCacheWarmth(t *testing.T) {
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		sink := campaign.NewJSONL(&buf)
+		if _, err := slpdas.RunCampaign(sweepCompatSpec(workers), sink); err != nil {
+			t.Fatalf("RunCampaign(workers=%d): %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	campaign.ResetTopologyCache()
+	cold := render(1)
+	warm := render(1)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("cache-cold vs cache-warm output differs:\n%s\nvs\n%s", cold, warm)
+	}
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); !bytes.Equal(cold, got) {
+			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, cold, got)
+		}
+	}
+}
