@@ -1,0 +1,119 @@
+// Command slpmerge reassembles the per-shard JSONL outputs of a sharded
+// campaign (slpsweep -shard i/n) into one stream in canonical cell order,
+// verifying the shards really partition a single campaign: no duplicate
+// cells, no gaps, no coordinate conflicts (every row must agree on the
+// repeat count and the campaign seed its base_seed implies), and no torn
+// final lines. The merged file is byte-identical to what one slpsweep
+// over the full matrix would have written.
+//
+// Usage:
+//
+//	slpmerge [-out merged.jsonl] [-cells N] [-quiet] shard0.jsonl shard1.jsonl ...
+//
+// -cells asserts the expected total cell count, catching the one failure
+// the gap check cannot: a shard file that ends cleanly but was cut short
+// at a row boundary after the highest cell index seen anywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"slpdas/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("slpmerge", flag.ContinueOnError)
+	out := fs.String("out", "", "merged output file (empty = stdout)")
+	cells := fs.Int("cells", 0, "expected total cell count; non-zero makes a shortfall an error")
+	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "slpmerge: no shard files given")
+		return 2
+	}
+
+	// Refuse to write over an input: os.Create truncates before a single
+	// row is read, which would destroy that shard's data.
+	if *out != "" {
+		outInfo, outErr := os.Stat(*out)
+		for _, p := range paths {
+			same := samePath(*out, p)
+			if !same && outErr == nil {
+				if info, err := os.Stat(p); err == nil {
+					same = os.SameFile(outInfo, info)
+				}
+			}
+			if same {
+				fmt.Fprintf(os.Stderr, "slpmerge: -out %s is also an input shard; merging would truncate it\n", *out)
+				return 2
+			}
+		}
+	}
+
+	srcs := make([]io.Reader, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slpmerge: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		srcs[i] = f
+	}
+
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slpmerge: %v\n", err)
+			return 1
+		}
+		outFile = f
+		w = f
+	}
+
+	n, err := campaign.MergeJSONL(w, srcs...)
+	if err == nil && *cells != 0 && n != *cells {
+		err = fmt.Errorf("merged %d cells, expected %d — a shard output is incomplete", n, *cells)
+	}
+	if outFile != nil {
+		if cerr := outFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slpmerge: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "slpmerge: %d cells from %d shards\n", n, len(paths))
+	}
+	return 0
+}
+
+// samePath reports whether a and b name the same file lexically (the
+// os.SameFile check beside it catches links and relative spellings of
+// existing files; this one catches an output that does not exist yet).
+func samePath(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slpdas/internal/campaign"
+)
+
+// writeShards runs one small real campaign single-process and as n
+// shards, writing each shard's JSONL next to the returned single output.
+func writeShards(t *testing.T, dir string, n int) (single string, shards []string) {
+	t.Helper()
+	spec := campaign.Spec{GridSizes: []int{5}, SearchDistances: []int{1, 2}, Repeats: 2, BaseSeed: 3}
+	render := func(path string, s campaign.Spec) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sink := campaign.NewJSONL(f)
+		if _, err := campaign.Run(s, sink); err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("close sink: %v", err)
+		}
+	}
+	single = filepath.Join(dir, "single.jsonl")
+	render(single, spec)
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Shard = campaign.Shard{Index: i, Count: n}
+		p := filepath.Join(dir, "shard"+string(rune('0'+i))+".jsonl")
+		render(p, s)
+		shards = append(shards, p)
+	}
+	return single, shards
+}
+
+func TestCLIMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	single, shards := writeShards(t, dir, 3)
+	merged := filepath.Join(dir, "merged.jsonl")
+	args := append([]string{"-quiet", "-out", merged, "-cells", "4"}, shards...)
+	if code := run(args); code != 0 {
+		t.Fatalf("slpmerge exited %d", code)
+	}
+	want, _ := os.ReadFile(single)
+	got, _ := os.ReadFile(merged)
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged differs from single-process output:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestCLIMergeFailures(t *testing.T) {
+	dir := t.TempDir()
+	_, shards := writeShards(t, dir, 3)
+	merged := filepath.Join(dir, "merged.jsonl")
+	for name, args := range map[string][]string{
+		"no inputs":       {"-quiet"},
+		"missing file":    {"-quiet", filepath.Join(dir, "nope.jsonl")},
+		"gap":             {"-quiet", "-out", merged, shards[0], shards[2]},
+		"cells shortfall": append([]string{"-quiet", "-out", merged, "-cells", "9"}, shards...),
+		"duplicate":       append([]string{"-quiet", "-out", merged, shards[0]}, shards...),
+	} {
+		if code := run(args); code == 0 {
+			t.Errorf("%s: exited 0, want failure", name)
+		}
+	}
+}
+
+// TestCLIMergeRefusesToClobberInput: -out naming an input shard must be
+// refused before the output is truncated — os.Create would otherwise
+// destroy that shard's rows.
+func TestCLIMergeRefusesToClobberInput(t *testing.T) {
+	dir := t.TempDir()
+	_, shards := writeShards(t, dir, 2)
+	before, err := os.ReadFile(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-quiet", "-out", shards[0], shards[0], shards[1]}); code == 0 {
+		t.Error("merge over an input exited 0, want refusal")
+	}
+	after, err := os.ReadFile(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("refused merge still truncated the input shard")
+	}
+}

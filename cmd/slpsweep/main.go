@@ -11,6 +11,15 @@
 // rows, regardless of -workers. Progress goes to stderr; suppress it with
 // -quiet.
 //
+// Long campaigns survive interruption and split across machines:
+//
+//	-resume    scans -out for already-completed cells (dropping any torn
+//	           final line a kill left behind), then appends only the
+//	           missing rows — the finished file is byte-identical to an
+//	           uninterrupted run;
+//	-shard i/n runs the i-th of n deterministic stride slices of the cell
+//	           matrix; merge the per-shard outputs with slpmerge.
+//
 // Usage:
 //
 //	slpsweep [-sizes 7,11] [-topologies grid|line:<n>|ring:<n>|rgg:<n>#<seed>,...]
@@ -19,7 +28,8 @@
 //	         [-nattackers 1,2,3] [-shared-history false,true]
 //	         [-loss ideal,bernoulli:<p>,rssi]
 //	         [-collisions false,true] [-repeats N] [-seed S] [-workers W]
-//	         [-out results.jsonl] [-format jsonl|csv] [-quiet]
+//	         [-out results.jsonl] [-format jsonl|csv]
+//	         [-resume] [-shard i/n] [-checkpoint N] [-quiet]
 package main
 
 import (
@@ -50,13 +60,16 @@ func run(args []string) int {
 		"comma-separated attacker strategies: "+strings.Join(attacker.StrategyNames(), ", "))
 	countArg := fs.String("nattackers", "1", "comma-separated eavesdropper team sizes")
 	sharedArg := fs.String("shared-history", "false", "comma-separated shared-H-window settings: false, true")
-	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p>, rssi")
+	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p> with p in [0,1], rssi")
 	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
 	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	workers := fs.Int("workers", 0, "total concurrent simulations (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "output file (empty = stdout)")
 	format := fs.String("format", "", "jsonl or csv (default: from -out extension, else jsonl)")
+	resume := fs.Bool("resume", false, "resume an interrupted campaign: scan -out for completed cells, truncate any torn final line, append only the missing rows")
+	shardArg := fs.String("shard", "", "run one stride slice i/n of the cell matrix (e.g. 1/3); merge shard outputs with slpmerge")
+	checkpointEvery := fs.Int("checkpoint", 16, "flush sinks to disk every N completed cells (0 = only at exit)")
 	quiet := fs.Bool("quiet", false, "suppress progress reporting on stderr")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -73,6 +86,15 @@ func run(args []string) int {
 	spec.Repeats = *repeats
 	spec.BaseSeed = *seed
 	spec.Workers = *workers
+	spec.CheckpointEvery = *checkpointEvery
+	if *shardArg != "" {
+		sh, err := parseShard(*shardArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slpsweep: -shard: %v\n", err)
+			return 2
+		}
+		spec.Shard = sh
+	}
 	if !*quiet {
 		spec.Progress = func(done, total int, row campaign.Row) {
 			fmt.Fprintf(os.Stderr, "slpsweep: cell %d/%d %s %s sd=%d %s x%d: capture %.1f%% (%d/%d runs)\n",
@@ -82,17 +104,31 @@ func run(args []string) int {
 		}
 	}
 
-	newSink := map[string]func(io.Writer) campaign.Sink{
-		"jsonl": func(w io.Writer) campaign.Sink { return campaign.NewJSONL(w) },
-		"csv":   func(w io.Writer) campaign.Sink { return campaign.NewCSV(w) },
-	}[resolveFormat(*format, *out)]
-	if newSink == nil {
+	formatName := resolveFormat(*format, *out)
+	if formatName != "jsonl" && formatName != "csv" {
 		fmt.Fprintf(os.Stderr, "slpsweep: unknown -format %q (want jsonl or csv)\n", *format)
 		return 2
 	}
 	var w io.Writer = os.Stdout
 	var outFile *os.File
-	if *out != "" {
+	csvAppend := false
+	if *resume {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "slpsweep: -resume requires -out")
+			return 2
+		}
+		f, completed, hasHeader, err := openResume(spec, *out, formatName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slpsweep: -resume: %v\n", err)
+			return 1
+		}
+		outFile, w = f, f
+		csvAppend = hasHeader
+		spec.Skip = func(cell int) bool { return completed[cell] }
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "slpsweep: resuming %s: %d cells already complete\n", *out, len(completed))
+		}
+	} else if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
@@ -101,22 +137,16 @@ func run(args []string) int {
 		outFile = f
 		w = f
 	}
-	sink := newSink(w)
-
-	// Sinks buffer (no syscall per row); checkpoint-flush every few cells
-	// from the single-goroutine Progress path so an interrupted campaign
-	// keeps all but its last handful of completed cells on disk.
-	const flushEvery = 16
-	progress := spec.Progress
-	spec.Progress = func(done, total int, row campaign.Row) {
-		if progress != nil {
-			progress(done, total, row)
-		}
-		if done%flushEvery == 0 || done == total {
-			if f, ok := sink.(interface{ Flush() error }); ok {
-				f.Flush()
-			}
-		}
+	var sink campaign.Sink
+	switch {
+	case formatName == "csv" && csvAppend:
+		// The resumed file already carries the header; appending must not
+		// duplicate it.
+		sink = campaign.NewCSVAppend(w)
+	case formatName == "csv":
+		sink = campaign.NewCSV(w)
+	default:
+		sink = campaign.NewJSONL(w)
 	}
 
 	sum, err := slpdas.RunCampaign(spec, sink)
@@ -134,9 +164,68 @@ func run(args []string) int {
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "slpsweep: %d cells done, %d run failures\n", sum.Cells, sum.Failures)
+		if sum.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "slpsweep: %d/%d cells done (%d skipped: already complete or out of shard), %d run failures\n",
+				sum.Cells-sum.Skipped, sum.Cells, sum.Skipped, sum.Failures)
+		} else {
+			fmt.Fprintf(os.Stderr, "slpsweep: %d cells done, %d run failures\n", sum.Cells, sum.Failures)
+		}
 	}
 	return 0
+}
+
+// parseShard parses "i/n" into a campaign.Shard; range validation is the
+// engine's job.
+func parseShard(s string) (campaign.Shard, error) {
+	idxStr, cntStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return campaign.Shard{}, fmt.Errorf("bad shard %q (want i/n, e.g. 1/3)", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+	if err != nil {
+		return campaign.Shard{}, fmt.Errorf("bad shard index in %q", s)
+	}
+	cnt, err := strconv.Atoi(strings.TrimSpace(cntStr))
+	if err != nil {
+		return campaign.Shard{}, fmt.Errorf("bad shard count in %q", s)
+	}
+	if cnt < 1 {
+		// An explicit -shard flag always intends sharding; a zero count
+		// would silently run the whole matrix.
+		return campaign.Shard{}, fmt.Errorf("shard count must be at least 1, got %q", s)
+	}
+	return campaign.Shard{Index: idx, Count: cnt}, nil
+}
+
+// openResume opens path for appending the missing cells of an interrupted
+// campaign: it scans the format-appropriate completed-cell set — refusing
+// rows that do not belong to spec's matrix and seed layout, so resuming
+// with mismatched flags fails instead of mixing two campaigns — truncates
+// any torn final line so appended rows start at a clean boundary, and
+// leaves the write offset at the end. hasHeader reports whether a CSV
+// header is already durable in the file.
+func openResume(spec campaign.Spec, path, format string) (f *os.File, completed map[int]bool, hasHeader bool, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	var valid int64
+	completed, valid, err = spec.ScanResumable(f, format)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if err = f.Truncate(valid); err != nil {
+		return nil, nil, false, err
+	}
+	if _, err = f.Seek(valid, io.SeekStart); err != nil {
+		return nil, nil, false, err
+	}
+	return f, completed, format == "csv" && valid > 0, nil
 }
 
 func resolveFormat(format, out string) string {

@@ -19,7 +19,10 @@
 //     axes — topologies, protocols, search distances, attackers, loss
 //     models, collisions — into the full Cartesian job matrix, runs it
 //     through one shared worker pool and streams per-cell rows to JSONL
-//     or CSV sinks, driven from the command line by cmd/slpsweep.
+//     or CSV sinks with durable checkpoints; campaigns resume after a
+//     kill and shard across processes or machines with byte-identical
+//     output, driven from the command line by cmd/slpsweep (-resume,
+//     -shard) and reassembled by cmd/slpmerge.
 //
 // This package is the stable facade: simulation entry points, the
 // per-figure reproduction helpers used by cmd/slpsim, campaign execution

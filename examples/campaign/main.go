@@ -30,6 +30,12 @@ func main() {
 		SearchDistances: []int{3},          // Figure 5(a)
 		Repeats:         repeats,
 		BaseSeed:        1,
+		// Checkpoint the sinks every other cell: if this process dies,
+		// everything up to the last checkpoint is already durable in
+		// results.jsonl, and re-running with the completed cells skipped
+		// (campaign.ScanCompleted + Spec.Skip, or slpsweep -resume)
+		// appends only what is missing.
+		CheckpointEvery: 2,
 		Progress: func(done, total int, row campaign.Row) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s done\n", done, total, row.Topology, row.Protocol)
 		},

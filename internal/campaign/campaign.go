@@ -12,6 +12,16 @@
 // Determinism: cell c repeat r runs on seed BaseSeed + c·Repeats + r, so
 // a campaign's output is a pure function of its Spec regardless of worker
 // count or scheduling. Rows are emitted in cell-index order.
+//
+// That purity is what makes campaigns restartable and horizontally
+// shardable: every row depends only on its cell's coordinates, never on
+// which process computed it or which cells ran alongside. Spec.Skip (or
+// CompletedCells) resumes an interrupted campaign from the cells already
+// durable in its output file (ScanCompleted recovers them, tolerating a
+// torn final line); Spec.Shard runs one deterministic stride slice of the
+// matrix per process or machine; MergeJSONL reassembles shard outputs in
+// canonical cell order. Sharded-then-merged, killed-then-resumed and
+// single-process runs of one Spec are byte-identical.
 package campaign
 
 import (
@@ -76,9 +86,72 @@ type Spec struct {
 	// across all cells (0 = GOMAXPROCS). Cells do not get pools of their
 	// own, so a campaign never oversubscribes the machine.
 	Workers int
-	// Progress, when non-nil, is called after each cell's row has been
-	// written to every sink, in cell order, from a single goroutine.
+	// Progress, when non-nil, is called after each executed cell's row has
+	// been written to every sink, in cell order, from a single goroutine.
+	// done is the 1-based matrix position of the cell just emitted and
+	// total the full matrix size, so a resumed or sharded run reports its
+	// absolute position; skipped cells produce no call.
 	Progress func(done, total int, row Row)
+
+	// Skip, when non-nil, reports cells to omit: they are neither executed
+	// nor emitted, but keep their place in the matrix, so the indices,
+	// seeds and row bytes of every remaining cell are identical to a full
+	// run. This is the resume primitive — feed it the set recovered by
+	// ScanCompleted and the appended output completes the original file.
+	Skip func(cell int) bool
+	// CompletedCells is the declarative form of Skip (the two compose):
+	// cells listed here are skipped.
+	CompletedCells []int
+	// Shard selects one deterministic 1/Count slice of the cell matrix in
+	// stride layout (cell c runs on shard c mod Count), so shards of a
+	// heterogeneous matrix finish in near-equal time. The zero value runs
+	// everything. Shard composes with Skip, and merges back with
+	// MergeJSONL / cmd/slpmerge.
+	Shard Shard
+	// CheckpointEvery, when positive, checkpoints every sink implementing
+	// CheckpointSink after each N emitted rows, bounding how much a crash
+	// can lose to the rows since the last checkpoint.
+	CheckpointEvery int
+}
+
+// Shard identifies one slice of a sharded campaign: shard Index of Count
+// total. Count < 2 means no sharding (with Count == 1, Index must be 0).
+type Shard struct {
+	Index, Count int
+}
+
+// skipFunc validates the shard and folds Shard, CompletedCells and Skip
+// into one predicate.
+func (s Spec) skipFunc() (func(cell int) bool, error) {
+	sh := s.Shard
+	if sh.Count < 0 {
+		return nil, fmt.Errorf("campaign: shard count must be non-negative, got %d", sh.Count)
+	}
+	if sh.Count == 0 && sh.Index != 0 {
+		// A nonzero index with the no-sharding count is always a mistake
+		// (e.g. Shard{2, 0} from a mistyped "2/0"); running the full
+		// matrix labelled as a shard would silently poison a later merge.
+		return nil, fmt.Errorf("campaign: shard index %d with count 0 (no sharding); want index 0 or a positive count", sh.Index)
+	}
+	if sh.Count > 0 && (sh.Index < 0 || sh.Index >= sh.Count) {
+		return nil, fmt.Errorf("campaign: shard index %d out of range [0, %d)", sh.Index, sh.Count)
+	}
+	var completed map[int]bool
+	if len(s.CompletedCells) > 0 {
+		completed = make(map[int]bool, len(s.CompletedCells))
+		for _, c := range s.CompletedCells {
+			completed[c] = true
+		}
+	}
+	return func(cell int) bool {
+		if sh.Count > 1 && cell%sh.Count != sh.Index {
+			return true
+		}
+		if completed[cell] {
+			return true
+		}
+		return s.Skip != nil && s.Skip(cell)
+	}, nil
 }
 
 func (s Spec) withDefaults() Spec {
@@ -242,9 +315,12 @@ func (s Spec) Expand() ([]Cell, error) {
 	return cells, nil
 }
 
-// Summary is the in-memory outcome of a campaign.
+// Summary is the in-memory outcome of a campaign. Cells counts the full
+// matrix; Rows holds only the cells this run executed (all of them unless
+// Skip or Shard filtered some out, counted by Skipped).
 type Summary struct {
 	Cells    int
+	Skipped  int // cells omitted by Skip / CompletedCells / Shard
 	Rows     []Row
 	Failures int // individual runs that errored, across all cells
 }
@@ -261,8 +337,9 @@ type resolvedCell struct {
 	cfg    core.Config
 }
 
-// Run expands the spec and executes every cell, streaming one Row per
-// cell to each sink in cell-index order as results become available.
+// Run expands the spec and executes every cell not excluded by Skip,
+// CompletedCells or Shard, streaming one Row per executed cell to each
+// sink in cell-index order as results become available.
 // Failed runs are counted per row (and in Summary.Failures); the first
 // run error is returned alongside the summary of everything that
 // completed, mirroring experiment.Run's convention.
@@ -307,13 +384,37 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 	if len(cells) == 0 {
 		return &Summary{}, nil
 	}
+	skip, err := spec.skipFunc()
+	if err != nil {
+		return nil, err
+	}
+	// selected marks the cells this run actually executes; skipped cells
+	// keep their indices and seed ranges but get no jobs, rows or results
+	// storage.
+	selected := make([]bool, len(cells))
+	nSelected := 0
+	for i := range cells {
+		if !skip(i) {
+			selected[i] = true
+			nSelected++
+		}
+	}
+	if nSelected == 0 {
+		return &Summary{Cells: len(cells), Skipped: len(cells)}, nil
+	}
 
-	// Resolve every topology and config up front so a bad axis value
-	// fails before any simulation starts. Topologies are memoised
-	// process-wide by spec (graphs are immutable): cells share them across
-	// the pool, and successive campaigns share them across calls.
+	// Resolve every selected cell's topology and config up front so a bad
+	// axis value fails before any simulation starts. Topologies are
+	// memoised process-wide by spec (graphs are immutable): cells share
+	// them across the pool, and successive campaigns share them across
+	// calls. Skipped cells stay unresolved — a resume that has most of a
+	// huge matrix complete, or one shard of many, pays setup only for the
+	// cells it will actually run.
 	resolved := make([]resolvedCell, len(cells))
 	for i, c := range cells {
+		if !selected[i] {
+			continue
+		}
 		bt, err := c.Topology.resolve()
 		if err != nil {
 			return nil, err
@@ -329,18 +430,21 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if total := len(cells) * spec.Repeats; workers > total {
+	if total := nSelected * spec.Repeats; workers > total {
 		workers = total
 	}
 
-	// One shared pool over every (cell, repeat) job. Results land in
-	// per-cell slices by repeat index, so aggregation order — and hence
+	// One shared pool over every selected (cell, repeat) job. Results land
+	// in per-cell slices by repeat index, so aggregation order — and hence
 	// the emitted rows — is independent of scheduling.
 	results := make([][]*core.Result, len(cells))
 	errs := make([][]error, len(cells))
 	remaining := make([]atomic.Int32, len(cells))
 	done := make([]chan struct{}, len(cells))
 	for i := range cells {
+		if !selected[i] {
+			continue
+		}
 		results[i] = make([]*core.Result, spec.Repeats)
 		errs[i] = make([]error, spec.Repeats)
 		remaining[i].Store(int32(spec.Repeats))
@@ -384,6 +488,9 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 	}
 	go func() {
 		for c := range cells {
+			if !selected[c] {
+				continue
+			}
 			for r := 0; r < spec.Repeats; r++ {
 				jobs <- job{cell: c, rep: r}
 			}
@@ -391,11 +498,27 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 		close(jobs)
 	}()
 
+	// abort drains the pool after a fatal sink/checkpoint failure: the
+	// stream's contract is one row per executed cell, so there is no
+	// point finishing the matrix.
+	abort := func() {
+		go func() {
+			for range jobs {
+			}
+		}()
+		wg.Wait()
+	}
+
 	// Emit rows in cell order as cells finish; earlier cells gate later
 	// ones only at the sink, not in the pool.
 	sum := &Summary{Cells: len(cells)}
 	var firstErr error
+	emitted := 0
 	for i := range cells {
+		if !selected[i] {
+			sum.Skipped++
+			continue
+		}
 		<-done[i]
 		rc := resolved[i]
 		agg := experiment.AggregateResults(experiment.Spec{
@@ -423,14 +546,22 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 		sum.Failures += agg.Failures
 		for _, snk := range sinks {
 			if err := snk.Write(row); err != nil {
-				// A sink failure is fatal: the stream's contract is one
-				// row per cell, so drain the pool and stop.
-				go func() {
-					for range jobs {
-					}
-				}()
-				wg.Wait()
+				// A sink failure is fatal: drain the pool and stop.
+				abort()
 				return sum, fmt.Errorf("campaign: sink: %w", err)
+			}
+		}
+		emitted++
+		if spec.CheckpointEvery > 0 && emitted%spec.CheckpointEvery == 0 {
+			for _, snk := range sinks {
+				cs, ok := snk.(CheckpointSink)
+				if !ok {
+					continue
+				}
+				if _, err := cs.Checkpoint(); err != nil {
+					abort()
+					return sum, fmt.Errorf("campaign: checkpoint: %w", err)
+				}
 			}
 		}
 		if spec.Progress != nil {

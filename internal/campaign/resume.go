@@ -1,0 +1,307 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"slpdas/internal/attacker"
+)
+
+// This file is the read side of the sink contract: recovering the
+// completed cells of an interrupted campaign from its (possibly torn)
+// output file, so a later run can Skip them and append only what is
+// missing. A row counts as complete only when its line is
+// newline-terminated AND parses — a kill mid-write leaves a trailing
+// fragment, and a flush that happened to end exactly on a line boundary
+// leaves none; both resume cleanly. The byte offset just past the last
+// complete line is reported so callers can truncate the torn tail before
+// appending (slpsweep -resume does exactly that).
+
+// scanLines walks the complete, newline-terminated lines of r, calling
+// fn with each line (newline included). It returns the byte offset just
+// past the last complete line, plus any unterminated trailing fragment —
+// the torn tail of an interrupted write, which callers decide whether to
+// tolerate (resume) or reject (merge).
+func scanLines(r io.Reader, fn func(n int, line []byte) error) (valid int64, torn []byte, err error) {
+	br := bufio.NewReader(r)
+	for n := 0; ; n++ {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			return valid, line, nil
+		}
+		if err != nil {
+			return valid, nil, err
+		}
+		if err := fn(n, line); err != nil {
+			return valid, nil, err
+		}
+		valid += int64(len(line))
+	}
+}
+
+// LoadRows parses the complete rows of a JSONL campaign output,
+// tolerating a torn final line (which is simply not a row yet). It
+// returns the rows and the byte offset just past the last complete row —
+// the length to truncate the file to before appending more rows. A
+// malformed line that IS newline-terminated is real corruption and an
+// error.
+func LoadRows(r io.Reader) ([]Row, int64, error) {
+	var rows []Row
+	valid, _, err := scanLines(r, func(n int, line []byte) error {
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("campaign: jsonl line %d: %w", n+1, err)
+		}
+		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, valid, err
+	}
+	return rows, valid, nil
+}
+
+// ScanCompleted streams a JSONL campaign output and returns the set of
+// completed cell indices plus the byte offset just past the last complete
+// row, tolerating a torn final line. Feed the set to Spec.Skip (or
+// Spec.CompletedCells), truncate the file to the offset, and re-run the
+// same Spec to resume.
+func ScanCompleted(r io.Reader) (map[int]bool, int64, error) {
+	cells := make(map[int]bool)
+	valid, _, err := scanLines(r, func(n int, line []byte) error {
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("campaign: jsonl line %d: %w", n+1, err)
+		}
+		cells[row.Cell] = true
+		return nil
+	})
+	if err != nil {
+		return nil, valid, err
+	}
+	return cells, valid, nil
+}
+
+// ScanResumable is the safe front door for resuming: it recovers the
+// completed cells of a partial output file in the given format ("jsonl"
+// or "csv", "" = jsonl) like ScanCompleted, and additionally verifies
+// that every recovered row carries exactly the coordinates, seed layout
+// and repeat count this Spec assigns its cell index. A resume attempted
+// with a mistyped seed, a changed axis flag or simply the wrong file
+// fails here with the first mismatch, instead of silently producing a
+// file that mixes two campaigns. slpsweep -resume goes through this.
+func (s Spec) ScanResumable(r io.Reader, format string) (map[int]bool, int64, error) {
+	cells, err := s.withDefaults().Expand()
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := s.skipFunc(); err != nil { // validate the shard up front
+		return nil, 0, err
+	}
+	check := func(n int, row Row) error {
+		if row.Cell < 0 || row.Cell >= len(cells) {
+			return fmt.Errorf("campaign: resume: line %d: cell %d outside this spec's %d-cell matrix — was the file produced with different flags?", n+1, row.Cell, len(cells))
+		}
+		if sh := s.Shard; sh.Count > 1 && row.Cell%sh.Count != sh.Index {
+			// A recovered cell outside this spec's shard slice means the
+			// file belongs to a different shard; appending this shard's
+			// cells after it would corrupt both.
+			return fmt.Errorf("campaign: resume: line %d: cell %d is not in shard %d/%d — wrong -shard or wrong file?", n+1, row.Cell, sh.Index, sh.Count)
+		}
+		if msg := cellRowMismatch(cells[row.Cell], row); msg != "" {
+			return fmt.Errorf("campaign: resume: line %d (cell %d): %s — the file belongs to a different campaign", n+1, row.Cell, msg)
+		}
+		return nil
+	}
+	completed := make(map[int]bool)
+	var valid int64
+	switch format {
+	case "", "jsonl":
+		valid, _, err = scanLines(r, func(n int, line []byte) error {
+			var row Row
+			if err := json.Unmarshal(line, &row); err != nil {
+				return fmt.Errorf("campaign: jsonl line %d: %w", n+1, err)
+			}
+			if err := check(n, row); err != nil {
+				return err
+			}
+			completed[row.Cell] = true
+			return nil
+		})
+	case "csv":
+		valid, _, err = scanLines(r, func(n int, line []byte) error {
+			rec, rerr := csv.NewReader(bytes.NewReader(line)).Read()
+			if rerr != nil {
+				return fmt.Errorf("campaign: csv line %d: %w", n+1, rerr)
+			}
+			if n == 0 {
+				return checkCSVHeader(rec)
+			}
+			row, rerr := csvCoordRow(rec)
+			if rerr != nil {
+				return fmt.Errorf("campaign: csv line %d: %w", n+1, rerr)
+			}
+			// The header row is line 1, so coordinate errors report the
+			// record's own line number.
+			if err := check(n, row); err != nil {
+				return err
+			}
+			completed[row.Cell] = true
+			return nil
+		})
+	default:
+		return nil, 0, fmt.Errorf("campaign: resume: unknown format %q (want jsonl or csv)", format)
+	}
+	if err != nil {
+		return nil, valid, err
+	}
+	return completed, valid, nil
+}
+
+// cellRowMismatch reports how row r's coordinate fields differ from what
+// cell c would emit, or "" when they all match. Only coordinates are
+// compared — the measured metrics legitimately vary with nothing but the
+// seed, which the BaseSeed check pins. Rows carry the *resolved* attacker
+// coordinates (core.Config normalizes a zero team size to 1 and an empty
+// strategy to the default), so the cell's values are normalized the same
+// way before comparing — a spec must accept the very file it produced.
+func cellRowMismatch(c Cell, r Row) string {
+	wantStrategy := c.Strategy
+	if wantStrategy == "" {
+		wantStrategy = attacker.DefaultStrategy
+	}
+	wantAttackers := c.AttackerCount
+	if wantAttackers <= 0 {
+		wantAttackers = 1
+	}
+	type coord struct {
+		name string
+		got  any
+		want any
+	}
+	for _, f := range []coord{
+		{"topology", r.Topology, c.Topology.Label()},
+		{"grid_size", r.GridSize, c.Topology.gridSize()},
+		{"protocol", r.Protocol, c.Protocol},
+		{"search_distance", r.SearchDistance, c.SearchDistance},
+		{"attacker_r", r.AttackerR, c.Attacker.R},
+		{"attacker_h", r.AttackerH, c.Attacker.H},
+		{"attacker_m", r.AttackerM, c.Attacker.M},
+		{"strategy", r.Strategy, wantStrategy},
+		{"attackers", r.Attackers, wantAttackers},
+		{"shared_history", r.SharedHistory, c.SharedHistory},
+		{"loss_model", r.LossModel, c.LossModel},
+		{"collisions", r.Collisions, c.Collisions},
+		{"repeats", r.Repeats, c.Repeats},
+		{"base_seed", r.BaseSeed, c.BaseSeed},
+	} {
+		if f.got != f.want {
+			return fmt.Sprintf("%s is %v, this spec's cell has %v", f.name, f.got, f.want)
+		}
+	}
+	return ""
+}
+
+// checkCSVHeader verifies rec is the canonical header row.
+func checkCSVHeader(rec []string) error {
+	if len(rec) != len(csvHeader) {
+		return fmt.Errorf("campaign: csv header has %d fields, want %d", len(rec), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if rec[i] != h {
+			return fmt.Errorf("campaign: csv header mismatch at column %d: %q, want %q", i+1, rec[i], h)
+		}
+	}
+	return nil
+}
+
+// csvCoordRow parses the coordinate columns of one CSV record back into
+// a Row (metric columns are left zero — resume verification only needs
+// coordinates).
+func csvCoordRow(rec []string) (Row, error) {
+	if len(rec) != len(csvHeader) {
+		return Row{}, fmt.Errorf("%d fields, want %d", len(rec), len(csvHeader))
+	}
+	var r Row
+	var err error
+	atoi := func(col int, dst *int) {
+		if err != nil {
+			return
+		}
+		v, e := strconv.Atoi(rec[col])
+		if e != nil {
+			err = fmt.Errorf("bad %s %q", csvHeader[col], rec[col])
+			return
+		}
+		*dst = v
+	}
+	abool := func(col int, dst *bool) {
+		if err != nil {
+			return
+		}
+		v, e := strconv.ParseBool(rec[col])
+		if e != nil {
+			err = fmt.Errorf("bad %s %q", csvHeader[col], rec[col])
+			return
+		}
+		*dst = v
+	}
+	atoi(0, &r.Cell)
+	r.Topology = rec[1]
+	atoi(2, &r.GridSize)
+	atoi(3, &r.Nodes)
+	r.Protocol = rec[4]
+	atoi(5, &r.SearchDistance)
+	atoi(6, &r.AttackerR)
+	atoi(7, &r.AttackerH)
+	atoi(8, &r.AttackerM)
+	r.Strategy = rec[9]
+	atoi(10, &r.Attackers)
+	abool(11, &r.SharedHistory)
+	r.LossModel = rec[12]
+	abool(13, &r.Collisions)
+	atoi(14, &r.Repeats)
+	if err == nil {
+		if r.BaseSeed, err = strconv.ParseUint(rec[15], 10, 64); err != nil {
+			err = fmt.Errorf("bad %s %q", csvHeader[15], rec[15])
+		}
+	}
+	return r, err
+}
+
+// ScanCompletedCSV is ScanCompleted for CSV campaign output: the first
+// complete line must be the canonical header, every later complete line
+// one record whose first field is the cell index. Line-based scanning is
+// sound here because no Row field ever serializes with an embedded
+// newline. The returned offset covers the header, so a file holding only
+// a header resumes by appending records without duplicating it.
+func ScanCompletedCSV(r io.Reader) (map[int]bool, int64, error) {
+	cells := make(map[int]bool)
+	valid, _, err := scanLines(r, func(n int, line []byte) error {
+		rec, err := csv.NewReader(bytes.NewReader(line)).Read()
+		if err != nil {
+			return fmt.Errorf("campaign: csv line %d: %w", n+1, err)
+		}
+		if n == 0 {
+			return checkCSVHeader(rec)
+		}
+		if len(rec) != len(csvHeader) {
+			return fmt.Errorf("campaign: csv line %d: %d fields, want %d", n+1, len(rec), len(csvHeader))
+		}
+		cell, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("campaign: csv line %d: bad cell %q", n+1, rec[0])
+		}
+		cells[cell] = true
+		return nil
+	})
+	if err != nil {
+		return nil, valid, err
+	}
+	return cells, valid, nil
+}

@@ -1,0 +1,489 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// renderJSONL writes rows through a JSONL sink and returns the bytes.
+func renderJSONL(t *testing.T, rows []Row) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, r := range rows {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRowsToleratesTornTail(t *testing.T) {
+	rows := sampleRows()
+	full := renderJSONL(t, rows)
+	// Cut mid-way through the final line: the torn fragment must be
+	// invisible, and the reported offset must sit exactly past row 0.
+	firstLine := bytes.IndexByte(full, '\n') + 1
+	torn := full[:firstLine+10]
+	back, valid, err := LoadRows(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("LoadRows: %v", err)
+	}
+	if len(back) != 1 || back[0].Cell != rows[0].Cell {
+		t.Fatalf("rows = %+v, want just cell %d", back, rows[0].Cell)
+	}
+	if valid != int64(firstLine) {
+		t.Errorf("valid = %d, want %d (end of the last complete line)", valid, firstLine)
+	}
+	// A complete final row WITHOUT a trailing newline is torn too: only
+	// newline-terminated lines count, so truncate-at-valid plus re-running
+	// the cell always reproduces the uninterrupted bytes.
+	back, valid, err = LoadRows(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatalf("LoadRows: %v", err)
+	}
+	if len(back) != 1 || valid != int64(firstLine) {
+		t.Errorf("unterminated final row counted as complete: rows=%d valid=%d", len(back), valid)
+	}
+	// The intact file round-trips whole.
+	back, valid, err = LoadRows(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("LoadRows: %v", err)
+	}
+	if len(back) != len(rows) || valid != int64(len(full)) {
+		t.Errorf("full file: rows=%d valid=%d, want %d/%d", len(back), valid, len(rows), len(full))
+	}
+}
+
+func TestLoadRowsRejectsMidFileCorruption(t *testing.T) {
+	// A malformed line that IS newline-terminated is not a torn tail; it
+	// must surface as an error, not be silently skipped.
+	if _, _, err := LoadRows(strings.NewReader("{\"cell\":0}\ngarbage\n{\"cell\":2}\n")); err == nil {
+		t.Error("newline-terminated garbage accepted")
+	}
+}
+
+func TestScanCompleted(t *testing.T) {
+	rows := []Row{{Cell: 0}, {Cell: 2}, {Cell: 5}}
+	full := renderJSONL(t, rows)
+	cells, valid, err := ScanCompleted(bytes.NewReader(append(full, []byte(`{"cell":7,"topo`)...)))
+	if err != nil {
+		t.Fatalf("ScanCompleted: %v", err)
+	}
+	if len(cells) != 3 || !cells[0] || !cells[2] || !cells[5] || cells[7] {
+		t.Errorf("cells = %v", cells)
+	}
+	if valid != int64(len(full)) {
+		t.Errorf("valid = %d, want %d", valid, len(full))
+	}
+	// Empty file: nothing completed, offset 0.
+	cells, valid, err = ScanCompleted(strings.NewReader(""))
+	if err != nil || len(cells) != 0 || valid != 0 {
+		t.Errorf("empty file: cells=%v valid=%d err=%v", cells, valid, err)
+	}
+}
+
+func TestScanCompletedCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, r := range []Row{{Cell: 0}, {Cell: 3}} {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full := buf.Bytes()
+
+	cells, valid, err := ScanCompletedCSV(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("ScanCompletedCSV: %v", err)
+	}
+	if len(cells) != 2 || !cells[0] || !cells[3] {
+		t.Errorf("cells = %v", cells)
+	}
+	if valid != int64(len(full)) {
+		t.Errorf("valid = %d, want %d", valid, len(full))
+	}
+
+	// Torn final record: only the header and the first record count, and
+	// the offset lands exactly between records.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	torn := append(append([]byte{}, lines[0]...), lines[1]...)
+	cut := len(torn)
+	torn = append(torn, lines[2][:4]...)
+	cells, valid, err = ScanCompletedCSV(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("ScanCompletedCSV(torn): %v", err)
+	}
+	if len(cells) != 1 || !cells[0] || valid != int64(cut) {
+		t.Errorf("torn: cells=%v valid=%d want 1 cell, valid %d", cells, valid, cut)
+	}
+
+	// A header-only file reports no cells but a non-zero offset, so a
+	// resume appends records without duplicating the header.
+	cells, valid, err = ScanCompletedCSV(bytes.NewReader(lines[0]))
+	if err != nil || len(cells) != 0 || valid != int64(len(lines[0])) {
+		t.Errorf("header-only: cells=%v valid=%d err=%v", cells, valid, err)
+	}
+
+	// A wrong header is corruption, not a resumable file.
+	if _, _, err := ScanCompletedCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+}
+
+// TestSkipKeepsSeedsAndRows: skipped cells keep their place in the
+// matrix — the remaining cells run on exactly the seeds and emit exactly
+// the bytes of the corresponding cells of a full run.
+func TestSkipKeepsSeedsAndRows(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 3}
+
+	full := &Memory{}
+	if _, err := run(spec, stubRun, full); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+
+	partial := &Memory{}
+	s := spec
+	s.Skip = func(cell int) bool { return cell%2 == 0 }
+	var progress []int
+	s.Progress = func(done, total int, row Row) {
+		if total != 4 {
+			t.Errorf("total = %d, want 4 (the full matrix)", total)
+		}
+		progress = append(progress, done)
+	}
+	sum, err := run(s, stubRun, partial)
+	if err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if sum.Cells != 4 || sum.Skipped != 2 {
+		t.Errorf("Cells=%d Skipped=%d, want 4/2", sum.Cells, sum.Skipped)
+	}
+	rows := partial.Rows()
+	if len(rows) != 2 || rows[0].Cell != 1 || rows[1].Cell != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	fullRows := full.Rows()
+	for i, r := range rows {
+		if r != fullRows[r.Cell] {
+			t.Errorf("row %d differs from full run's cell %d:\n%+v\nvs\n%+v", i, r.Cell, r, fullRows[r.Cell])
+		}
+	}
+	// Progress reports matrix positions, not a compacted count.
+	if len(progress) != 2 || progress[0] != 2 || progress[1] != 4 {
+		t.Errorf("progress = %v, want [2 4]", progress)
+	}
+}
+
+func TestCompletedCellsComposeWithSkip(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 2}
+	spec.CompletedCells = []int{0, 3}
+	spec.Skip = func(cell int) bool { return cell == 1 }
+	mem := &Memory{}
+	sum, err := run(spec, stubRun, mem)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rows := mem.Rows(); len(rows) != 1 || rows[0].Cell != 2 {
+		t.Errorf("rows = %+v, want just cell 2", rows)
+	}
+	if sum.Skipped != 3 {
+		t.Errorf("Skipped = %d, want 3", sum.Skipped)
+	}
+}
+
+func TestAllCellsSkipped(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Repeats: 2, Skip: func(int) bool { return true }}
+	mem := &Memory{}
+	sum, err := run(spec, stubRun, mem)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum.Cells != 2 || sum.Skipped != 2 || len(mem.Rows()) != 0 {
+		t.Errorf("sum = %+v, rows = %d", sum, len(mem.Rows()))
+	}
+}
+
+// TestShardPartition: stride shards tile the matrix — disjoint, complete,
+// and each emitting the same bytes the full run emits for those cells.
+func TestShardPartition(t *testing.T) {
+	spec := Spec{GridSizes: []int{5, 7}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 2}
+	full := &Memory{}
+	if _, err := run(spec, stubRun, full); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	fullRows := full.Rows()
+
+	const n = 3
+	seen := make(map[int]Row)
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Shard = Shard{Index: i, Count: n}
+		mem := &Memory{}
+		sum, err := run(s, stubRun, mem)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if sum.Cells != len(fullRows) {
+			t.Errorf("shard %d Cells = %d, want %d", i, sum.Cells, len(fullRows))
+		}
+		for _, r := range mem.Rows() {
+			if r.Cell%n != i {
+				t.Errorf("shard %d emitted cell %d (stride violation)", i, r.Cell)
+			}
+			if _, dup := seen[r.Cell]; dup {
+				t.Errorf("cell %d emitted by two shards", r.Cell)
+			}
+			seen[r.Cell] = r
+		}
+	}
+	if len(seen) != len(fullRows) {
+		t.Fatalf("%d cells across shards, want %d", len(seen), len(fullRows))
+	}
+	for c, r := range seen {
+		if r != fullRows[c] {
+			t.Errorf("cell %d differs between sharded and full run", c)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	for name, sh := range map[string]Shard{
+		"negative count":         {Index: 0, Count: -1},
+		"index out of range":     {Index: 3, Count: 3},
+		"negative index":         {Index: -1, Count: 2},
+		"index 1 of count 1":     {Index: 1, Count: 1},
+		"nonzero index, count 0": {Index: 2, Count: 0},
+	} {
+		if _, err := run(Spec{GridSizes: []int{5}, Repeats: 1, Shard: sh}, stubRun, &Memory{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Count 1, index 0 is a degenerate but valid "everything" shard.
+	mem := &Memory{}
+	if _, err := run(Spec{GridSizes: []int{5}, Repeats: 1, Shard: Shard{Index: 0, Count: 1}}, stubRun, mem); err != nil {
+		t.Errorf("1-shard run: %v", err)
+	}
+	if len(mem.Rows()) != 2 {
+		t.Errorf("1-shard run emitted %d rows, want 2", len(mem.Rows()))
+	}
+}
+
+// checkpointCounter records Checkpoint calls.
+type checkpointCounter struct {
+	Memory
+	checkpoints []int
+}
+
+func (s *checkpointCounter) Checkpoint() (int, error) {
+	last, err := s.Memory.Checkpoint()
+	s.checkpoints = append(s.checkpoints, last)
+	return last, err
+}
+
+// TestCheckpointEvery: Run checkpoints capable sinks every N emitted
+// rows, with the high-water mark trailing the emission exactly.
+func TestCheckpointEvery(t *testing.T) {
+	spec := Spec{GridSizes: []int{5, 7, 9}, SearchDistances: []int{1}, Repeats: 2, CheckpointEvery: 2}
+	sink := &checkpointCounter{}
+	if _, err := run(spec, stubRun, sink); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// 6 cells, checkpoint after rows 2, 4, 6 → marks 1, 3, 5.
+	want := []int{1, 3, 5}
+	if len(sink.checkpoints) != len(want) {
+		t.Fatalf("checkpoints = %v, want %v", sink.checkpoints, want)
+	}
+	for i, c := range sink.checkpoints {
+		if c != want[i] {
+			t.Errorf("checkpoint %d at cell %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestRunPropagatesCheckpointFailure(t *testing.T) {
+	sink := &failingCheckpointSink{}
+	_, err := run(Spec{GridSizes: []int{5}, Repeats: 1, CheckpointEvery: 1}, stubRun, sink)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("err = %v, want checkpoint failure", err)
+	}
+}
+
+type failingCheckpointSink struct{ Memory }
+
+func (s *failingCheckpointSink) Checkpoint() (int, error) {
+	return -1, errors.New("forced checkpoint failure")
+}
+
+// TestResumeAppendCompletesFile is the engine-level kill-and-resume
+// round trip: render a full campaign to JSONL, tear the file mid-row,
+// then resume by scanning completed cells, truncating to the valid
+// offset and appending a Skip run — the result must be byte-identical to
+// the uninterrupted output.
+func TestResumeAppendCompletesFile(t *testing.T) {
+	spec := Spec{GridSizes: []int{5, 7}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 3, BaseSeed: 11}
+
+	var fullBuf bytes.Buffer
+	sink := NewJSONL(&fullBuf)
+	if _, err := run(spec, stubRun, sink); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full := fullBuf.Bytes()
+
+	// Tear at several points: mid first row, mid-file, mid last row.
+	for _, cut := range []int{10, len(full) / 2, len(full) - 3} {
+		completed, valid, err := ScanCompleted(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: ScanCompleted: %v", cut, err)
+		}
+		resumed := bytes.NewBuffer(append([]byte(nil), full[:valid]...))
+		s := spec
+		s.Skip = func(cell int) bool { return completed[cell] }
+		appendSink := NewJSONL(resumed)
+		if _, err := run(s, stubRun, appendSink); err != nil {
+			t.Fatalf("cut %d: resume run: %v", cut, err)
+		}
+		if err := appendSink.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		if !bytes.Equal(resumed.Bytes(), full) {
+			t.Errorf("cut %d: resumed file differs from uninterrupted run:\n%s\nvs\n%s", cut, resumed.Bytes(), full)
+		}
+	}
+}
+
+// TestScanResumableRejectsForeignFile: resuming must refuse an output
+// file whose rows do not belong to the spec being re-run — a mistyped
+// seed, a changed axis, a shrunken matrix or plain garbage — instead of
+// silently mixing two campaigns in one file.
+func TestScanResumableRejectsForeignFile(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 2, BaseSeed: 3}
+	mem := &Memory{}
+	if _, err := run(spec, stubRun, mem); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	full := renderJSONL(t, mem.Rows())
+
+	// The file's own spec accepts it, torn or not.
+	completed, valid, err := spec.ScanResumable(bytes.NewReader(full[:len(full)-4]), "jsonl")
+	if err != nil {
+		t.Fatalf("ScanResumable: %v", err)
+	}
+	if len(completed) != 3 || valid == int64(len(full)) {
+		t.Errorf("completed=%v valid=%d", completed, valid)
+	}
+
+	for name, other := range map[string]func(*Spec){
+		"different seed":    func(s *Spec) { s.BaseSeed = 99 },
+		"different repeats": func(s *Spec) { s.Repeats = 5 },
+		"different sd axis": func(s *Spec) { s.SearchDistances = []int{2, 1} },
+		"shrunken matrix":   func(s *Spec) { s.Protocols = []string{Protectionless}; s.SearchDistances = []int{1} },
+	} {
+		s := spec
+		other(&s)
+		if _, _, err := s.ScanResumable(bytes.NewReader(full), "jsonl"); err == nil {
+			t.Errorf("%s: foreign file accepted", name)
+		}
+	}
+	if _, _, err := spec.ScanResumable(strings.NewReader("{}\n"), "jsonl"); err == nil {
+		t.Error("coordinate-free garbage row accepted")
+	}
+	if _, _, err := spec.ScanResumable(nil, "parquet"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestScanResumableCSV: the CSV path recovers cells, verifies
+// coordinates, and tolerates a torn final record.
+func TestScanResumableCSV(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 2, BaseSeed: 3}
+	mem := &Memory{}
+	if _, err := run(spec, stubRun, mem); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, r := range mem.Rows() {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full := buf.Bytes()
+
+	completed, valid, err := spec.ScanResumable(bytes.NewReader(full[:len(full)-4]), "csv")
+	if err != nil {
+		t.Fatalf("ScanResumable(csv): %v", err)
+	}
+	if len(completed) != 3 || !completed[0] || !completed[1] || !completed[2] {
+		t.Errorf("completed = %v", completed)
+	}
+	if valid >= int64(len(full)) {
+		t.Errorf("valid = %d, want < %d (torn final record)", valid, len(full))
+	}
+	foreign := spec
+	foreign.BaseSeed = 99
+	if _, _, err := foreign.ScanResumable(bytes.NewReader(full), "csv"); err == nil {
+		t.Error("csv file from a different seed accepted")
+	}
+}
+
+// TestScanResumableAcceptsOwnNormalizedDefaults: rows carry the resolved
+// attacker coordinates (team size 0 → 1, empty strategy → first-heard),
+// so a spec written with the un-normalized zero values must still accept
+// the file it produced.
+func TestScanResumableAcceptsOwnNormalizedDefaults(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless},
+		AttackerCounts: []int{0}, Strategies: []string{""}, Repeats: 2, BaseSeed: 3}
+	mem := &Memory{}
+	if _, err := run(spec, stubRun, mem); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	full := renderJSONL(t, mem.Rows())
+	completed, _, err := spec.ScanResumable(bytes.NewReader(full), "jsonl")
+	if err != nil {
+		t.Fatalf("spec refused its own output: %v", err)
+	}
+	if len(completed) != 1 {
+		t.Errorf("completed = %v", completed)
+	}
+}
+
+// TestScanResumableEnforcesShard: resuming shard i's output with a
+// different -shard must be refused — appending the wrong shard's cells
+// would corrupt both files.
+func TestScanResumableEnforcesShard(t *testing.T) {
+	spec := Spec{GridSizes: []int{5}, Protocols: []string{Protectionless, SLPAware}, SearchDistances: []int{1, 2}, Repeats: 2, BaseSeed: 3}
+	s0 := spec
+	s0.Shard = Shard{Index: 0, Count: 3}
+	mem := &Memory{}
+	if _, err := run(s0, stubRun, mem); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	full := renderJSONL(t, mem.Rows()) // cells 0 and 3
+
+	if _, _, err := s0.ScanResumable(bytes.NewReader(full), "jsonl"); err != nil {
+		t.Fatalf("own shard refused: %v", err)
+	}
+	s1 := spec
+	s1.Shard = Shard{Index: 1, Count: 3}
+	if _, _, err := s1.ScanResumable(bytes.NewReader(full), "jsonl"); err == nil {
+		t.Error("shard 0's file accepted for a shard-1 resume")
+	}
+	if _, _, err := spec.ScanResumable(bytes.NewReader(full), "jsonl"); err != nil {
+		t.Errorf("unsharded resume of a shard file refused: %v", err)
+	}
+}

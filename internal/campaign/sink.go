@@ -17,7 +17,10 @@ import (
 // Row is one streamed result record: the cell's full matrix coordinates
 // followed by the Aggregate summary fields. Field order is the JSONL and
 // CSV column order; values are finite (NaNs from empty samples become 0
-// with the corresponding count field showing why).
+// with the corresponding count field showing why, and ±Inf clamps to
+// ±MaxFloat64). Finiteness is enforced at the serialization boundary —
+// the JSONL and CSV sinks sanitize every float field — because JSON
+// cannot encode NaN or Inf at all.
 type Row struct {
 	Cell           int    `json:"cell"`
 	Topology       string `json:"topology"`
@@ -51,12 +54,35 @@ type Row struct {
 	DeliveryLatency    float64 `json:"delivery_latency_slots"`
 }
 
-// fin maps the NaN of an empty sample to 0 so rows stay JSON-encodable.
+// fin maps the NaN of an empty sample to 0 and clamps ±Inf to
+// ±MaxFloat64 so rows stay JSON-encodable (encoding/json rejects both).
 func fin(x float64) float64 {
-	if math.IsNaN(x) {
+	switch {
+	case math.IsNaN(x):
 		return 0
+	case math.IsInf(x, 1):
+		return math.MaxFloat64
+	case math.IsInf(x, -1):
+		return -math.MaxFloat64
 	}
 	return x
+}
+
+// sanitize applies fin to every float field, enforcing the finiteness
+// promise of the Row doc at the sink boundary regardless of where the
+// row came from.
+func (r Row) sanitize() Row {
+	r.CaptureRatio = fin(r.CaptureRatio)
+	r.CaptureRatioCI95 = fin(r.CaptureRatioCI95)
+	r.MeanCapturePeriods = fin(r.MeanCapturePeriods)
+	r.ScheduleValidRatio = fin(r.ScheduleValidRatio)
+	r.ControlMessages = fin(r.ControlMessages)
+	r.ControlBytes = fin(r.ControlBytes)
+	r.TotalMessages = fin(r.TotalMessages)
+	r.ChangedNodes = fin(r.ChangedNodes)
+	r.SourceDeliveries = fin(r.SourceDeliveries)
+	r.DeliveryLatency = fin(r.DeliveryLatency)
+	return r
 }
 
 func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
@@ -105,34 +131,63 @@ type Sink interface {
 	Close() error
 }
 
+// CheckpointSink is a Sink with durable checkpoints: Checkpoint flushes
+// every buffered row to the underlying writer and returns the highest
+// cell index that is now durable (-1 before any row). Because Run emits
+// rows in increasing cell order, everything at or below that index has
+// been handed to the underlying writer, which is what makes an
+// interrupted campaign resumable from its output file (see ScanCompleted
+// and Spec.Skip). The file sinks, Memory and Multi all implement it;
+// Spec.CheckpointEvery drives it from inside Run.
+type CheckpointSink interface {
+	Sink
+	Checkpoint() (lastCell int, err error)
+}
+
 // JSONL streams rows as one JSON object per line — the resumable,
 // diffable format long campaigns should default to. Writes are buffered
 // (one row used to cost one syscall, which large sweeps feel); call Flush
 // for durability checkpoints and Close when the campaign ends.
 type JSONL struct {
-	w *bufio.Writer
+	w    *bufio.Writer
+	last int // highest cell written so far; -1 before any
 }
 
 // NewJSONL wraps w in a buffered JSONL sink.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{w: bufio.NewWriter(w)}
+	return &JSONL{w: bufio.NewWriter(w), last: -1}
 }
 
 // Write implements Sink. The row lands in the buffer; it reaches the
 // underlying writer when the buffer fills, on Flush, or on Close.
 func (s *JSONL) Write(r Row) error {
-	b, err := json.Marshal(r)
+	b, err := json.Marshal(r.sanitize())
 	if err != nil {
 		return err
 	}
 	if _, err := s.w.Write(b); err != nil {
 		return err
 	}
-	return s.w.WriteByte('\n')
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if r.Cell > s.last {
+		s.last = r.Cell
+	}
+	return nil
 }
 
 // Flush pushes every buffered row to the underlying writer.
 func (s *JSONL) Flush() error { return s.w.Flush() }
+
+// Checkpoint implements CheckpointSink: it flushes and returns the
+// highest cell index now durable in the underlying writer.
+func (s *JSONL) Checkpoint() (int, error) {
+	if err := s.w.Flush(); err != nil {
+		return -1, err
+	}
+	return s.last, nil
+}
 
 // Close implements Sink, flushing all buffered rows.
 func (s *JSONL) Close() error { return s.w.Flush() }
@@ -163,6 +218,7 @@ var csvHeader = []string{
 }
 
 func csvRecord(r Row) []string {
+	r = r.sanitize()
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	return []string{
 		strconv.Itoa(r.Cell), r.Topology, strconv.Itoa(r.GridSize),
@@ -184,11 +240,20 @@ func csvRecord(r Row) []string {
 type CSV struct {
 	w          *csv.Writer
 	wroteFirst bool
+	last       int // highest cell written so far; -1 before any
 }
 
 // NewCSV wraps w in a CSV sink; the header is written with the first row.
 func NewCSV(w io.Writer) *CSV {
-	return &CSV{w: csv.NewWriter(w)}
+	return &CSV{w: csv.NewWriter(w), last: -1}
+}
+
+// NewCSVAppend wraps w in a CSV sink that never writes the header — for
+// appending to a file that already carries one, as slpsweep -resume does.
+func NewCSVAppend(w io.Writer) *CSV {
+	s := NewCSV(w)
+	s.wroteFirst = true
+	return s
 }
 
 // Write implements Sink, buffering like JSONL.
@@ -199,13 +264,28 @@ func (s *CSV) Write(r Row) error {
 		}
 		s.wroteFirst = true
 	}
-	return s.w.Write(csvRecord(r))
+	if err := s.w.Write(csvRecord(r)); err != nil {
+		return err
+	}
+	if r.Cell > s.last {
+		s.last = r.Cell
+	}
+	return nil
 }
 
 // Flush pushes every buffered row to the underlying writer.
 func (s *CSV) Flush() error {
 	s.w.Flush()
 	return s.w.Error()
+}
+
+// Checkpoint implements CheckpointSink: it flushes and returns the
+// highest cell index now durable in the underlying writer.
+func (s *CSV) Checkpoint() (int, error) {
+	if err := s.Flush(); err != nil {
+		return -1, err
+	}
+	return s.last, nil
 }
 
 // Close implements Sink, flushing all buffered rows.
@@ -218,14 +298,29 @@ func (s *CSV) Close() error {
 type Memory struct {
 	mu   sync.Mutex
 	rows []Row
+	last int // highest cell written; tracked so Checkpoint is O(1)
 }
 
 // Write implements Sink.
 func (s *Memory) Write(r Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.rows) == 0 || r.Cell > s.last {
+		s.last = r.Cell
+	}
 	s.rows = append(s.rows, r)
 	return nil
+}
+
+// Checkpoint implements CheckpointSink; memory is always "durable", so it
+// just reports the highest cell written.
+func (s *Memory) Checkpoint() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rows) == 0 {
+		return -1, nil
+	}
+	return s.last, nil
 }
 
 // Close implements Sink.
@@ -253,6 +348,30 @@ func (m Multi) Write(r Row) error {
 	return nil
 }
 
+// Checkpoint implements CheckpointSink: it checkpoints every member that
+// supports checkpoints and returns the smallest of their high-water marks
+// — the safe resume point across the whole fan-out. Members without
+// checkpoint support are skipped; if none support it, Checkpoint reports
+// -1.
+func (m Multi) Checkpoint() (int, error) {
+	last, any := -1, false
+	for _, s := range m {
+		cs, ok := s.(CheckpointSink)
+		if !ok {
+			continue
+		}
+		c, err := cs.Checkpoint()
+		if err != nil {
+			return -1, err
+		}
+		if !any || c < last {
+			last = c
+		}
+		any = true
+	}
+	return last, nil
+}
+
 // Close implements Sink; it closes every sink and returns the first error.
 func (m Multi) Close() error {
 	var first error
@@ -263,3 +382,11 @@ func (m Multi) Close() error {
 	}
 	return first
 }
+
+// Interface compliance: the built-in sinks all support checkpoints.
+var (
+	_ CheckpointSink = (*JSONL)(nil)
+	_ CheckpointSink = (*CSV)(nil)
+	_ CheckpointSink = (*Memory)(nil)
+	_ CheckpointSink = Multi(nil)
+)

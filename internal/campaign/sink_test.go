@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/csv"
 	"errors"
+	"math"
 	"os"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -278,5 +280,149 @@ func TestRunPropagatesSinkFailure(t *testing.T) {
 	_, err := run(Spec{GridSizes: []int{5}, Repeats: 2}, stubRun, failSink{boom})
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v, want sink error", err)
+	}
+}
+
+// TestSinksSanitizeNonFiniteFloats pins the Row finiteness promise at the
+// serialization boundary: a row carrying NaN or ±Inf in every float field
+// must encode through both file sinks (encoding/json rejects non-finite
+// values outright), with NaN → 0 and ±Inf clamped to ±MaxFloat64.
+func TestSinksSanitizeNonFiniteFloats(t *testing.T) {
+	mkRow := func(x float64) Row {
+		return Row{
+			Cell: 1, Topology: "grid-5x5",
+			CaptureRatio: x, CaptureRatioCI95: x, MeanCapturePeriods: x,
+			ScheduleValidRatio: x, ControlMessages: x, ControlBytes: x,
+			TotalMessages: x, ChangedNodes: x, SourceDeliveries: x,
+			DeliveryLatency: x,
+		}
+	}
+	checkFloats := func(t *testing.T, r Row, want float64) {
+		t.Helper()
+		for name, got := range map[string]float64{
+			"CaptureRatio": r.CaptureRatio, "CaptureRatioCI95": r.CaptureRatioCI95,
+			"MeanCapturePeriods": r.MeanCapturePeriods, "ScheduleValidRatio": r.ScheduleValidRatio,
+			"ControlMessages": r.ControlMessages, "ControlBytes": r.ControlBytes,
+			"TotalMessages": r.TotalMessages, "ChangedNodes": r.ChangedNodes,
+			"SourceDeliveries": r.SourceDeliveries, "DeliveryLatency": r.DeliveryLatency,
+		} {
+			if got != want {
+				t.Errorf("%s = %v, want %v", name, got, want)
+			}
+		}
+	}
+	for name, tc := range map[string]struct{ in, want float64 }{
+		"nan":  {math.NaN(), 0},
+		"+inf": {math.Inf(1), math.MaxFloat64},
+		"-inf": {math.Inf(-1), -math.MaxFloat64},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			sink := NewJSONL(&buf)
+			if err := sink.Write(mkRow(tc.in)); err != nil {
+				t.Fatalf("JSONL.Write: %v", err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			back, err := ReadJSONL(&buf)
+			if err != nil || len(back) != 1 {
+				t.Fatalf("ReadJSONL: rows=%d err=%v", len(back), err)
+			}
+			checkFloats(t, back[0], tc.want)
+
+			var csvBuf bytes.Buffer
+			cs := NewCSV(&csvBuf)
+			if err := cs.Write(mkRow(tc.in)); err != nil {
+				t.Fatalf("CSV.Write: %v", err)
+			}
+			if err := cs.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			recs, err := csv.NewReader(&csvBuf).ReadAll()
+			if err != nil || len(recs) != 2 {
+				t.Fatalf("csv parse: recs=%d err=%v", len(recs), err)
+			}
+			for i, cellStr := range recs[1] {
+				if v, err := strconv.ParseFloat(cellStr, 64); err == nil {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("csv column %s is non-finite: %q", csvHeader[i], cellStr)
+					}
+				}
+			}
+			if got := recs[1][19]; got != strconv.FormatFloat(tc.want, 'g', -1, 64) { // capture_ratio
+				t.Errorf("capture_ratio = %q, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckpointReportsHighWaterMark: Checkpoint flushes and reports the
+// highest cell durable, for the file sinks, Memory and Multi (which takes
+// the minimum across members).
+func TestCheckpointReportsHighWaterMark(t *testing.T) {
+	w := &countingWriter{}
+	jsonl := NewJSONL(w)
+	if last, err := jsonl.Checkpoint(); err != nil || last != -1 {
+		t.Errorf("empty JSONL checkpoint = %d, %v, want -1", last, err)
+	}
+	for c := 0; c <= 4; c++ {
+		if err := jsonl.Write(Row{Cell: c}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	last, err := jsonl.Checkpoint()
+	if err != nil || last != 4 {
+		t.Fatalf("JSONL checkpoint = %d, %v, want 4", last, err)
+	}
+	if w.buf.Len() == 0 {
+		t.Error("Checkpoint did not flush")
+	}
+	back, err := ReadJSONL(bytes.NewReader(w.buf.Bytes()))
+	if err != nil || len(back) != 5 {
+		t.Fatalf("after checkpoint: rows=%d err=%v", len(back), err)
+	}
+
+	var csvBuf bytes.Buffer
+	cs := NewCSV(&csvBuf)
+	if err := cs.Write(Row{Cell: 7}); err != nil {
+		t.Fatalf("CSV.Write: %v", err)
+	}
+	if last, err := cs.Checkpoint(); err != nil || last != 7 {
+		t.Errorf("CSV checkpoint = %d, %v, want 7", last, err)
+	}
+	if csvBuf.Len() == 0 {
+		t.Error("CSV Checkpoint did not flush")
+	}
+
+	mem := &Memory{}
+	mem.Write(Row{Cell: 2})
+	m := Multi{jsonl, mem}
+	if last, err := m.Checkpoint(); err != nil || last != 2 {
+		t.Errorf("Multi checkpoint = %d, %v, want 2 (min across members)", last, err)
+	}
+	if last, err := (Multi{failSink{errors.New("x")}}).Checkpoint(); err != nil || last != -1 {
+		t.Errorf("Multi over non-checkpoint sinks = %d, %v, want -1, nil", last, err)
+	}
+}
+
+// TestCSVAppendOmitsHeader: the append-mode CSV sink never writes the
+// header — resuming into a file that already has one must not duplicate
+// it.
+func TestCSVAppendOmitsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVAppend(&buf)
+	if err := sink.Write(Row{Cell: 3}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(recs) != 1 || recs[0][0] != "3" {
+		t.Errorf("records = %v, want just cell 3's record", recs)
 	}
 }

@@ -577,3 +577,26 @@ func TestStrategiesRunEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTerminatesUnderTotalLoss pins the bernoulli:1 semantics decided
+// with radio.ParseLossModel: 100% channel loss is a legitimate stress
+// scenario, not a config error. No frame is ever delivered, so no
+// schedule can form and no capture can happen — but timers keep firing
+// and the run is bounded by simulated time, so the DES terminates
+// normally instead of wedging.
+func TestRunTerminatesUnderTotalLoss(t *testing.T) {
+	for _, mk := range []func() Config{Default, func() Config { return DefaultSLP(2) }} {
+		cfg := mk()
+		cfg.Loss = radio.Bernoulli{P: 1}
+		res := run(t, grid(t, 5), 5, cfg, 1)
+		if res.Captured {
+			t.Errorf("captured under 100%% loss (SLP=%v)", cfg.SLP)
+		}
+		if res.ScheduleValid() {
+			t.Errorf("schedule formed under 100%% loss (SLP=%v)", cfg.SLP)
+		}
+		if res.SourceDeliveries != 0 {
+			t.Errorf("%d deliveries under 100%% loss (SLP=%v)", res.SourceDeliveries, cfg.SLP)
+		}
+	}
+}

@@ -96,7 +96,15 @@ var (
 
 // ParseLossModel parses the textual channel-model syntax shared by the
 // facade, the campaign engine and the CLIs: "ideal" (or ""),
-// "bernoulli:<p>" with p ∈ [0, 1), or "rssi".
+// "bernoulli:<p>" with p ∈ [0, 1], or "rssi".
+//
+// The probability must be a finite number: strconv.ParseFloat happily
+// accepts "NaN" and "±Inf", and NaN in particular passes every range
+// comparison while making Lost silently always-false — an ideal channel
+// mislabelled as bernoulli in every result row. p = 1 is admitted as a
+// legitimate total-blackout stress case: timers still fire, the run is
+// bounded by simulated time, and the DES terminates normally (pinned by
+// core's total-loss test).
 func ParseLossModel(s string) (LossModel, error) {
 	switch {
 	case s == "" || s == "ideal":
@@ -105,8 +113,8 @@ func ParseLossModel(s string) (LossModel, error) {
 		return DefaultRSSINoise(), nil
 	case strings.HasPrefix(s, "bernoulli:"):
 		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "bernoulli:"), 64)
-		if err != nil || p < 0 || p >= 1 {
-			return nil, fmt.Errorf("radio: bad bernoulli probability in %q", s)
+		if err != nil || math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("radio: bad bernoulli probability in %q (want a finite p in [0, 1])", s)
 		}
 		return Bernoulli{P: p}, nil
 	default:

@@ -1,0 +1,93 @@
+package radio
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// TestParseLossModel pins the accepted grammar, and in particular the
+// regression where strconv.ParseFloat let "bernoulli:NaN" through: NaN
+// fails both range comparisons, and r.Float64() < NaN is always false, so
+// the model silently behaved as ideal while reporting itself bernoulli.
+func TestParseLossModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string // expected Name(); "" = must error
+	}{
+		{"", "ideal"},
+		{"ideal", "ideal"},
+		{"rssi", "rssi-noise"},
+		{"bernoulli:0", "bernoulli(0.00)"},
+		{"bernoulli:0.5", "bernoulli(0.50)"},
+		// p = 1 is the documented total-blackout stress case.
+		{"bernoulli:1", "bernoulli(1.00)"},
+		{"bernoulli:1.0", "bernoulli(1.00)"},
+		// Non-finite probabilities must be rejected, in every spelling
+		// ParseFloat accepts.
+		{"bernoulli:NaN", ""},
+		{"bernoulli:nan", ""},
+		{"bernoulli:+Inf", ""},
+		{"bernoulli:-Inf", ""},
+		{"bernoulli:Inf", ""},
+		{"bernoulli:-0.1", ""},
+		{"bernoulli:1.0001", ""},
+		{"bernoulli:", ""},
+		{"bernoulli:x", ""},
+		{"bogus", ""},
+	} {
+		m, err := ParseLossModel(tc.in)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("ParseLossModel(%q) accepted, got %s", tc.in, m.Name())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLossModel(%q): %v", tc.in, err)
+			continue
+		}
+		if m.Name() != tc.want {
+			t.Errorf("ParseLossModel(%q).Name() = %q, want %q", tc.in, m.Name(), tc.want)
+		}
+	}
+}
+
+// TestBernoulliExtremes: the admitted bounds really mean what they say —
+// p=0 never loses a frame, p=1 loses every frame.
+func TestBernoulliExtremes(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		if (Bernoulli{P: 0}).Lost(1, r) {
+			t.Fatal("bernoulli:0 lost a frame")
+		}
+		if !(Bernoulli{P: 1}).Lost(1, r) {
+			t.Fatal("bernoulli:1 delivered a frame")
+		}
+	}
+}
+
+// FuzzParseLossModel: no input may yield a model with a non-finite or
+// out-of-range probability, and bernoulli acceptance must match the
+// documented p ∈ [0, 1].
+func FuzzParseLossModel(f *testing.F) {
+	for _, s := range []string{"ideal", "rssi", "bernoulli:0.5", "bernoulli:NaN", "bernoulli:+Inf", "bernoulli:1", "bernoulli:1e-3"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseLossModel(s)
+		if err != nil {
+			return
+		}
+		b, ok := m.(Bernoulli)
+		if !ok {
+			return
+		}
+		if !(b.P >= 0 && b.P <= 1) { // NaN fails this form too
+			t.Errorf("ParseLossModel(%q) produced p=%v outside [0,1]", s, b.P)
+		}
+		if !strings.HasPrefix(s, "bernoulli:") {
+			t.Errorf("ParseLossModel(%q) produced a Bernoulli from a non-bernoulli spelling", s)
+		}
+	})
+}

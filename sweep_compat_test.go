@@ -2,6 +2,7 @@ package slpdas_test
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"testing"
 
@@ -74,6 +75,84 @@ func TestSweepDeterministicAcrossWorkersAndCacheWarmth(t *testing.T) {
 	for _, workers := range []int{4, 8} {
 		if got := render(workers); !bytes.Equal(cold, got) {
 			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, cold, got)
+		}
+	}
+}
+
+// TestShardMergeBackwardCompatible pins the tentpole invariant on the
+// real simulator: the sweep-compat campaign run as n independent shards
+// — each shard under a different worker count, so arena reuse and
+// scheduling differ per shard — merges back byte-identical to the
+// pre-arena golden, i.e. to a single-process run.
+func TestShardMergeBackwardCompatible(t *testing.T) {
+	want, err := os.ReadFile("testdata/sweep_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	for _, shardCount := range []int{2, 3} {
+		srcs := make([]io.Reader, shardCount)
+		for i := 0; i < shardCount; i++ {
+			spec := sweepCompatSpec(1 + i*2) // workers 1, 3, 5, ...
+			spec.Shard = campaign.Shard{Index: i, Count: shardCount}
+			var buf bytes.Buffer
+			sink := campaign.NewJSONL(&buf)
+			sum, err := slpdas.RunCampaign(spec, sink)
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, shardCount, err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatalf("shard %d/%d Close: %v", i, shardCount, err)
+			}
+			if got := sum.Cells - sum.Skipped; got != len(sum.Rows) {
+				t.Errorf("shard %d/%d: %d executed cells but %d rows", i, shardCount, got, len(sum.Rows))
+			}
+			srcs[i] = bytes.NewReader(buf.Bytes())
+		}
+		var merged bytes.Buffer
+		n, err := campaign.MergeJSONL(&merged, srcs...)
+		if err != nil {
+			t.Fatalf("merge %d shards: %v", shardCount, err)
+		}
+		if n != 8 {
+			t.Errorf("merged %d cells, want 8", n)
+		}
+		if !bytes.Equal(merged.Bytes(), want) {
+			t.Errorf("%d-shard merged output diverged from the golden:\n--- got ---\n%s\n--- want ---\n%s", shardCount, merged.Bytes(), want)
+		}
+	}
+}
+
+// TestKillAndResumeBackwardCompatible is the kill-and-resume round trip
+// on the real simulator: tear the golden mid-row (exactly what a kill
+// during a buffered write leaves behind), recover the completed cells,
+// truncate to the last complete row and append a resumed run — the file
+// must come back byte-identical to the uninterrupted golden.
+func TestKillAndResumeBackwardCompatible(t *testing.T) {
+	want, err := os.ReadFile("testdata/sweep_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	for _, cut := range []int{0, 40, len(want) / 2, len(want) - 2} {
+		completed, valid, err := campaign.ScanCompleted(bytes.NewReader(want[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: ScanCompleted: %v", cut, err)
+		}
+		file := bytes.NewBuffer(append([]byte(nil), want[:valid]...))
+		spec := sweepCompatSpec(4)
+		spec.Skip = func(cell int) bool { return completed[cell] }
+		sink := campaign.NewJSONL(file)
+		sum, err := slpdas.RunCampaign(spec, sink)
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", cut, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		if sum.Skipped != len(completed) {
+			t.Errorf("cut %d: skipped %d cells, want %d", cut, sum.Skipped, len(completed))
+		}
+		if !bytes.Equal(file.Bytes(), want) {
+			t.Errorf("cut %d: resumed file diverged from the golden:\n--- got ---\n%s\n--- want ---\n%s", cut, file.Bytes(), want)
 		}
 	}
 }
