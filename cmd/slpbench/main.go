@@ -12,6 +12,14 @@
 // allocs/op and bytes/op are stable across machines and are the numbers
 // the zero-allocation hot path is held to.
 //
+// The large-topology tier sizes the scale path: spatial-hash graph
+// construction at 10⁵ (RGG) and 10⁶ (grid) nodes, and a full 2·10⁴-node
+// lifecycle under the scale-test configuration (free-slot collision
+// resolution, walk recording off). These entries carry a per-op unit
+// count — nodes for builds, node·periods for the run — and the report
+// derives ns/unit and bytes/unit from it, the per-node numbers that stay
+// comparable as topology sizes change between baselines.
+//
 // With -check, the freshly measured results are compared against a
 // committed baseline: any allocs/op regression in a suite the baseline
 // holds at zero allocs fails the run (exit 1); other allocs growth and all
@@ -20,13 +28,14 @@
 //
 // Usage:
 //
-//	slpbench [-out BENCH_4.json] [-check BENCH_4.json] [-quiet]
+//	slpbench [-out BENCH_6.json] [-check BENCH_6.json] [-quiet]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -47,6 +56,16 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Units is the benchmark's self-reported work-unit count per op
+	// (b.ReportMetric(…, "units")): nodes for topology builds,
+	// node·periods for large simulated runs. Zero when the benchmark
+	// reports none.
+	Units float64 `json:"units,omitempty"`
+	// NsPerUnit and BytesPerUnit are NsPerOp and BytesPerOp normalised by
+	// Units — the size-independent series (ns/node·period, bytes/node)
+	// the large-topology tier is tracked by.
+	NsPerUnit    float64 `json:"ns_per_unit,omitempty"`
+	BytesPerUnit float64 `json:"bytes_per_unit,omitempty"`
 }
 
 // Report is the whole document: enough provenance to interpret the
@@ -68,7 +87,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_4.json", "output JSON file (empty = stdout)")
+	out := fs.String("out", "BENCH_6.json", "output JSON file (empty = stdout)")
 	check := fs.String("check", "", "baseline JSON to compare against; allocs/op regressions in zero-alloc suites fail the run")
 	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +98,7 @@ func run(args []string) int {
 	}
 
 	report := Report{
-		Schema:    "slpdas-bench/2",
+		Schema:    "slpdas-bench/3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -94,10 +113,19 @@ func run(args []string) int {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
+		if units := r.Extra["units"]; units > 0 {
+			res.Units = units
+			res.NsPerUnit = res.NsPerOp / units
+			res.BytesPerUnit = float64(res.BytesPerOp) / units
+		}
 		report.Results = append(report.Results, res)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "slpbench: %-28s %14.1f ns/op %8d allocs/op %10d B/op\n",
+			fmt.Fprintf(os.Stderr, "slpbench: %-28s %14.1f ns/op %8d allocs/op %10d B/op",
 				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+			if res.Units > 0 {
+				fmt.Fprintf(os.Stderr, " %10.1f ns/unit %8.1f B/unit", res.NsPerUnit, res.BytesPerUnit)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 
@@ -224,6 +252,9 @@ func suite() []benchmark {
 		{"core/single-run-21", benchSingleRun(21)},
 		{"campaign/cell-5x5", benchCampaignCell},
 		{"campaign/sweep-11x11-x100", benchRepeatHeavySweep},
+		{"topo/build-rgg-100k", benchBuildRGG(100_000)},
+		{"topo/build-grid-1M", benchBuildGrid(1000)},
+		{"core/large-run-rgg-20k", benchLargeRun(20_000)},
 	}
 }
 
@@ -386,6 +417,114 @@ func benchCampaignCell(b *testing.B) {
 		}, mem); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBuildRGG measures spatial-hash topology construction on a random
+// geometric graph: placement, bucket-grid neighbour discovery, CSR
+// assembly and the union-find connectivity check, at the density the
+// scale tests use. Units are nodes, so the report's derived columns are
+// build ns/node and resident bytes/node.
+func benchBuildRGG(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		side := math.Sqrt(float64(n)) * topo.DefaultSpacing
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := topo.RandomGeometric(n, side, side, 2.2*topo.DefaultSpacing, 61+uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.Len() != n {
+				b.Fatalf("built %d nodes, want %d", g.Len(), n)
+			}
+		}
+		b.ReportMetric(float64(n), "units")
+	}
+}
+
+// benchBuildGrid measures spatial-hash construction on a square grid —
+// side 1000 is the million-node topology the scale path is sized for.
+// Units are nodes.
+func benchBuildGrid(side int) func(b *testing.B) {
+	return func(b *testing.B) {
+		n := side * side
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := topo.DefaultGrid(side)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.Len() != n {
+				b.Fatalf("built %d nodes, want %d", g.Len(), n)
+			}
+		}
+		b.ReportMetric(float64(n), "units")
+	}
+}
+
+// benchLargeRun measures one full lifecycle on a large random geometric
+// graph under the scale-test configuration: free-slot collision
+// resolution, one HELLO round, walk recording off, source pinned a fixed
+// hop count from the sink so the safety period — and with it the simulated
+// work — is topology-size-independent. Units are node·periods, making the
+// derived ns/unit the scale path's headline number: nanoseconds to carry
+// one node through one TDMA period.
+func benchLargeRun(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		side := math.Sqrt(float64(n)) * topo.DefaultSpacing
+		g, err := topo.RandomGeometric(n, side, side, 2.2*topo.DefaultSpacing, 61)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := topo.NodeID(0)
+		centre := topo.Point{X: side / 2, Y: side / 2}
+		for id := topo.NodeID(1); int(id) < g.Len(); id++ {
+			if g.Position(id).DistanceTo(centre) < g.Position(sink).DistanceTo(centre) {
+				sink = id
+			}
+		}
+		dists := g.BFSFrom(sink)
+		source, sourceDist := sink, 0
+		for id, d := range dists {
+			if d <= 12 && d > sourceDist {
+				source, sourceDist = topo.NodeID(id), d
+			}
+		}
+		if sourceDist == 0 {
+			b.Fatal("no source candidate within 12 hops of the sink")
+		}
+
+		cfg := core.Default()
+		cfg.Slots = 2000
+		cfg.SlotPeriod = 10 * time.Millisecond
+		cfg.MinimumSetupPeriods = 5
+		cfg.NeighbourDiscoveryPeriods = 1
+		cfg.DisseminationTimeout = 1
+		cfg.SafetyFactor = 1.1
+		cfg.FastCollisionResolve = true
+		cfg.EventBudget = 200_000_000
+		cfg.PathCap = core.PathRecordingOff
+
+		nodePeriods := 0.0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net, err := core.NewNetwork(g, sink, source, cfg, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := net.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.PeriodsRun <= 0 {
+				b.Fatal("no data periods simulated")
+			}
+			nodePeriods += float64(n) * res.PeriodsRun
+		}
+		b.ReportMetric(nodePeriods/float64(b.N), "units")
 	}
 }
 

@@ -28,7 +28,7 @@
 //	         [-nattackers 1,2,3] [-shared-history false,true]
 //	         [-loss ideal,bernoulli:<p>,rssi]
 //	         [-collisions false,true] [-repeats N] [-seed S] [-workers W]
-//	         [-out results.jsonl] [-format jsonl|csv]
+//	         [-path-cap off|full|N] [-out results.jsonl] [-format jsonl|csv]
 //	         [-resume] [-shard i/n] [-checkpoint N] [-quiet]
 package main
 
@@ -63,6 +63,7 @@ func run(args []string) int {
 	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p> with p in [0,1], rssi")
 	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
 	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
+	pathCapArg := fs.String("path-cap", "off", "attacker-walk recording per run: off (default; rows never render walks), full, or N to keep the first N locations")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	workers := fs.Int("workers", 0, "total concurrent simulations (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "output file (empty = stdout)")
@@ -87,6 +88,10 @@ func run(args []string) int {
 	spec.BaseSeed = *seed
 	spec.Workers = *workers
 	spec.CheckpointEvery = *checkpointEvery
+	if spec.PathCap, err = parsePathCap(*pathCapArg); err != nil {
+		fmt.Fprintf(os.Stderr, "slpsweep: -path-cap: %v\n", err)
+		return 2
+	}
 	if *shardArg != "" {
 		sh, err := parseShard(*shardArg)
 		if err != nil {
@@ -172,6 +177,23 @@ func run(args []string) int {
 		}
 	}
 	return 0
+}
+
+// parsePathCap maps the -path-cap flag onto campaign.Spec.PathCap: "off"
+// (or 0) disables walk recording, "full" records every visited location,
+// and a positive N keeps the first N locations per attacker per run.
+func parsePathCap(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "0", "":
+		return 0, nil
+	case "full":
+		return campaign.PathFull, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad value %q (want off, full, or a positive integer)", s)
+	}
+	return n, nil
 }
 
 // parseShard parses "i/n" into a campaign.Shard; range validation is the

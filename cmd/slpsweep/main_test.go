@@ -148,6 +148,8 @@ func TestCLIFlagErrors(t *testing.T) {
 		"shard out of range": {"-shard", "3/3", "-quiet"},
 		"shard count zero":   {"-shard", "2/0", "-quiet"},
 		"bad loss nan":       {"-loss", "bernoulli:NaN", "-quiet"},
+		"bad path cap":       {"-path-cap", "sometimes", "-quiet"},
+		"negative path cap":  {"-path-cap", "-3", "-quiet"},
 	} {
 		if code := run(args); code == 0 {
 			t.Errorf("%s: exited 0, want failure", name)
@@ -156,5 +158,50 @@ func TestCLIFlagErrors(t *testing.T) {
 	// bernoulli:1 (total loss) is legal and must run to completion.
 	if code := run([]string{"-sizes", "5", "-sd", "1", "-repeats", "1", "-loss", "bernoulli:1", "-quiet", "-out", filepath.Join(t.TempDir(), "x.jsonl")}); code != 0 {
 		t.Error("bernoulli:1 rejected, want success")
+	}
+}
+
+// TestCLIPathCapDoesNotChangeRows pins the memory-vs-output contract of
+// -path-cap: rows are byte-identical whether walks are recorded in full,
+// capped, or (the default) not at all.
+func TestCLIPathCapDoesNotChangeRows(t *testing.T) {
+	dir := t.TempDir()
+	outs := map[string]string{}
+	for _, cap := range []string{"off", "full", "5"} {
+		out := filepath.Join(dir, "cap-"+cap+".jsonl")
+		if code := run(sweepArgs(out, "-path-cap", cap)); code != 0 {
+			t.Fatalf("-path-cap %s: exit %d", cap, code)
+		}
+		outs[cap] = out
+	}
+	want := readFile(t, outs["off"])
+	for _, cap := range []string{"full", "5"} {
+		if got := readFile(t, outs[cap]); !bytes.Equal(got, want) {
+			t.Errorf("-path-cap %s rows differ from -path-cap off:\n%s\nvs\n%s", cap, got, want)
+		}
+	}
+}
+
+// TestParsePathCap pins the flag grammar.
+func TestParsePathCap(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"off", 0, false}, {"OFF", 0, false}, {"0", 0, false}, {"", 0, false},
+		{"full", campaign.PathFull, false}, {"Full", campaign.PathFull, false},
+		{"7", 7, false},
+		{"-1", 0, true}, {"nope", 0, true}, {"1.5", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parsePathCap(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parsePathCap(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parsePathCap(%q) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }

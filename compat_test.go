@@ -7,7 +7,25 @@ import (
 	"testing"
 
 	"slpdas"
+	"slpdas/internal/experiment"
 )
+
+// renderFig5a serialises a Figure 5 result the way the pre-rebuild
+// `slpsim fig5a` pipeline did: the rendered table followed by every
+// per-run capture outcome and attacker walk, in deterministic order.
+func renderFig5a(tbl string, fig *experiment.Figure5) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(tbl)
+	for _, p := range fig.Points {
+		for _, r := range p.ProtectionlessAgg.Results {
+			fmt.Fprintf(&buf, "prot size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
+		}
+		for _, r := range p.SLPAgg.Results {
+			fmt.Fprintf(&buf, "slp size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
+		}
+	}
+	return buf.Bytes()
+}
 
 // TestFig5aBackwardCompatible pins the acceptance criterion of the
 // attacker-subsystem rebuild: default single-attacker first-heard results
@@ -21,21 +39,39 @@ func TestFig5aBackwardCompatible(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read golden: %v", err)
 	}
-	var buf bytes.Buffer
 	tbl, fig, err := slpdas.Figure5(3, 5, 1, 7, 11)
 	if err != nil {
 		t.Fatalf("Figure5: %v", err)
 	}
-	buf.WriteString(tbl)
-	for _, p := range fig.Points {
-		for _, r := range p.ProtectionlessAgg.Results {
-			fmt.Fprintf(&buf, "prot size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
-		}
-		for _, r := range p.SLPAgg.Results {
-			fmt.Fprintf(&buf, "slp size=%d seed=%d captured=%v capAt=%v path=%v\n", p.GridSize, r.Seed, r.Captured, r.CaptureAt, r.AttackerPath)
-		}
+	if got := renderFig5a(tbl, fig); !bytes.Equal(got, want) {
+		t.Errorf("fig5a output diverged from the pre-rebuild golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("fig5a output diverged from the pre-rebuild golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+}
+
+// TestFig5aDeterministicAcrossWorkers pins the intra-cell parallel path
+// on the figure pipeline: the Figure 5 evaluation must render
+// byte-identical to the unchanged golden at 1, 2 and 8 workers, where
+// each worker count partitions the per-size repeats differently across
+// arenas. The facade leaves Workers at GOMAXPROCS, so this drives the
+// experiment spec directly.
+func TestFig5aDeterministicAcrossWorkers(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig5a_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		fig, err := experiment.RunFigure5(experiment.Figure5Spec{
+			GridSizes:      []int{7, 11},
+			SearchDistance: 3,
+			Repeats:        5,
+			BaseSeed:       1,
+			Workers:        workers,
+		})
+		if err != nil {
+			t.Fatalf("RunFigure5(workers=%d): %v", workers, err)
+		}
+		if got := renderFig5a(fig.Table().String(), fig); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d fig5a output diverged from the golden:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+		}
 	}
 }

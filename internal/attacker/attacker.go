@@ -140,16 +140,18 @@ type Attacker struct {
 	source topo.NodeID
 	rng    *rand.Rand
 
-	active   bool
-	cur      topo.NodeID
-	msgs     []Heard
-	moves    int
-	moved    bool // relocated during the current period
-	hist     *HistoryStore
-	path     []topo.NodeID // every location visited, including start
-	captured bool
-	capAt    time.Duration
-	lastAt   time.Duration // latest observation time seen
+	active     bool
+	cur        topo.NodeID
+	msgs       []Heard
+	moves      int
+	moved      bool // relocated during the current period
+	hist       *HistoryStore
+	path       []topo.NodeID // visited locations, including start; see SetPathCap
+	pathCap    int           // 0 = unbounded; n >= 1 keeps the first n locations
+	movesTotal int           // relocations over the whole hunt, never capped
+	captured   bool
+	capAt      time.Duration
+	lastAt     time.Duration // latest observation time seen
 
 	// OnCapture, when non-nil, fires once at the capture instant.
 	OnCapture func(at time.Duration)
@@ -208,6 +210,26 @@ func NewWithStrategy(g *topo.Graph, params Params, strat Strategy, source topo.N
 // store. Call before the hunt starts; the store's own window length
 // governs eviction for every sharer.
 func (a *Attacker) ShareHistory(s *HistoryStore) { a.hist = s }
+
+// SetPathCap bounds the recorded walk: 0 (the default) records every
+// visited location, n >= 1 keeps only the first n locations including s0,
+// and a negative cap keeps s0 alone. The cap affects recording only —
+// moves, H-window bookkeeping, capture detection and Moves() proceed
+// identically — so a 10⁶-node hunt no longer accumulates an unbounded
+// walk it will never render. Call before the hunt starts.
+func (a *Attacker) SetPathCap(n int) {
+	if n < 0 {
+		n = 1
+	}
+	a.pathCap = n
+	if n > 0 && len(a.path) > n {
+		a.path = a.path[:n]
+	}
+}
+
+// Moves returns the total number of relocations over the whole hunt —
+// the walk length that survives any path cap.
+func (a *Attacker) Moves() int { return a.movesTotal }
 
 // Activate begins the hunt at virtual time zero; see ActivateAt.
 func (a *Attacker) Activate() { a.ActivateAt(0) }
@@ -306,7 +328,10 @@ func (a *Attacker) relocate(next topo.NodeID, now time.Duration) {
 	a.hist.Record(a.cur)
 	a.cur = next
 	a.moved = true
-	a.path = append(a.path, next)
+	a.movesTotal++
+	if a.pathCap == 0 || len(a.path) < a.pathCap {
+		a.path = append(a.path, next)
+	}
 	if a.OnMove != nil {
 		a.OnMove(next, now)
 	}
@@ -319,7 +344,9 @@ func (a *Attacker) Current() topo.NodeID { return a.cur }
 // Captured reports whether the source has been reached, and when.
 func (a *Attacker) Captured() (bool, time.Duration) { return a.captured, a.capAt }
 
-// Path returns every node visited, in order, starting at s0.
+// Path returns the recorded walk, in order, starting at s0 — every node
+// visited unless SetPathCap truncated recording. Moves always counts the
+// full walk.
 func (a *Attacker) Path() []topo.NodeID {
 	return append([]topo.NodeID(nil), a.path...)
 }

@@ -408,3 +408,82 @@ func TestUnvisitedFirstEdgeCases(t *testing.T) {
 		t.Errorf("origin-equals-cur decision = %d, want 2", got)
 	}
 }
+
+func TestPathCapBoundsRecordingNotTheHunt(t *testing.T) {
+	// The capped chase must behave identically to the uncapped one —
+	// same capture, same move count, same H-window — with only the
+	// recorded walk truncated.
+	chase := func(cap int) *Attacker {
+		sim, _, m, a := lineWorld(t, Params{R: 1, M: 1, H: 2}, FirstHeard)
+		if cap != 0 {
+			a.SetPathCap(cap)
+		}
+		a.Activate()
+		for p := 0; p < 4; p++ {
+			p := p
+			at := time.Duration(p+1) * 5 * time.Second
+			if _, err := sim.Schedule(at, func() {
+				a.NextPeriod()
+				m.Broadcast(topo.NodeID(3-p), []byte{1})
+			}); err != nil {
+				t.Fatalf("Schedule: %v", err)
+			}
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return a
+	}
+	full := chase(0)
+	if captured, _ := full.Captured(); !captured || full.Moves() != 4 {
+		t.Fatalf("uncapped chase: captured=%v moves=%d, want capture in 4 moves",
+			full.captured, full.Moves())
+	}
+	for _, cap := range []int{1, 2, 3, -1} {
+		a := chase(cap)
+		captured, at := a.Captured()
+		fullCaptured, fullAt := full.Captured()
+		if captured != fullCaptured || at != fullAt {
+			t.Errorf("cap %d changed the capture: %v@%v vs %v@%v", cap, captured, at, fullCaptured, fullAt)
+		}
+		if a.Moves() != full.Moves() {
+			t.Errorf("cap %d changed Moves: %d vs %d", cap, a.Moves(), full.Moves())
+		}
+		if got, want := a.History(), full.History(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("cap %d changed the H-window: %v vs %v", cap, got, want)
+		}
+		wantLen := cap
+		if cap < 0 {
+			wantLen = 1 // negative caps keep s0 alone
+		}
+		path := a.Path()
+		if len(path) != wantLen {
+			t.Fatalf("cap %d recorded %v, want the first %d locations", cap, path, wantLen)
+		}
+		for i := range path {
+			if path[i] != full.Path()[i] {
+				t.Errorf("cap %d path %v is not a prefix of %v", cap, path, full.Path())
+			}
+		}
+	}
+}
+
+func TestSetPathCapTruncatesExistingWalk(t *testing.T) {
+	sim, _, m, a := lineWorld(t, Params{R: 1, M: 2}, FirstHeard)
+	a.Activate()
+	sim.ScheduleAfter(time.Second, func() { m.Broadcast(3, []byte{1}) })
+	sim.ScheduleAfter(2*time.Second, func() { m.Broadcast(2, []byte{1}) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := a.Path(); len(got) != 3 {
+		t.Fatalf("walk = %v, want 3 locations before capping", got)
+	}
+	a.SetPathCap(2)
+	if got := a.Path(); len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Errorf("capped walk = %v, want [4 3]", got)
+	}
+	if a.Moves() != 2 {
+		t.Errorf("Moves = %d after capping, want 2", a.Moves())
+	}
+}

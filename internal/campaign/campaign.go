@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"slpdas/internal/attacker"
 	"slpdas/internal/core"
@@ -112,7 +111,18 @@ type Spec struct {
 	// CheckpointSink after each N emitted rows, bounding how much a crash
 	// can lose to the rows since the last checkpoint.
 	CheckpointEvery int
+
+	// PathCap governs attacker-walk recording inside every cell's config.
+	// Campaign rows never render walks, so the zero value disables
+	// recording entirely (core.PathRecordingOff) — at 10⁵–10⁶ nodes a
+	// full walk is pure wasted memory per run. Set PathFull to record
+	// complete walks anyway, or N > 0 to keep the first N locations.
+	PathCap int
 }
+
+// PathFull requests uncapped attacker-walk recording in Spec.PathCap,
+// restoring core.Config's default behaviour inside campaign cells.
+const PathFull = -1
 
 // Shard identifies one slice of a sharded campaign: shard Index of Count
 // total. Count < 2 means no sharding (with Count == 1, Index must be 0).
@@ -214,15 +224,33 @@ type Cell struct {
 	Collisions     bool
 	Repeats        int
 	BaseSeed       uint64 // repeat r runs on BaseSeed + r
+	PathCap        int    // Spec.PathCap semantics (0 = recording off)
 }
 
 func (c Cell) config() (core.Config, error) {
-	return BuildConfig(c.Protocol, c.SearchDistance, AttackerSetup{
+	cfg, err := BuildConfig(c.Protocol, c.SearchDistance, AttackerSetup{
 		Params:        c.Attacker,
 		Strategy:      c.Strategy,
 		Count:         c.AttackerCount,
 		SharedHistory: c.SharedHistory,
 	}, c.LossModel, c.Collisions)
+	if err != nil {
+		return core.Config{}, err
+	}
+	// Translate the campaign-level PathCap (zero value = off, PathFull =
+	// record everything) onto core.Config's (zero value = record
+	// everything, PathRecordingOff = off).
+	switch {
+	case c.PathCap == 0:
+		cfg.PathCap = core.PathRecordingOff
+	case c.PathCap == PathFull:
+		cfg.PathCap = 0
+	case c.PathCap > 0:
+		cfg.PathCap = c.PathCap
+	default:
+		return core.Config{}, fmt.Errorf("campaign: path cap must be >= %d, got %d", PathFull, c.PathCap)
+	}
+	return cfg, nil
 }
 
 // AttackerSetup groups the attacker-side coordinates of a cell: the
@@ -302,6 +330,7 @@ func (s Spec) Expand() ([]Cell, error) {
 											Collisions:     coll,
 											Repeats:        s.Repeats,
 											BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
+											PathCap:        s.PathCap,
 										})
 									}
 								}
@@ -327,6 +356,66 @@ type Summary struct {
 
 // runner executes one repeat; tests substitute it to instrument the pool.
 type runner func(g *topo.Graph, sink, source topo.NodeID, cfg core.Config, seed uint64) (*core.Result, error)
+
+// cellState is one cell's streaming index-ordered reduction: results
+// deposited by any worker in any order are folded into the accumulator
+// strictly by repeat index, so the aggregate is identical whether the
+// cell's repeats ran on one worker or the whole pool. Out-of-order
+// arrivals park in pending (bounded by pool concurrency); folded Results
+// are released immediately.
+type cellState struct {
+	mu       sync.Mutex
+	next     int // next repeat index to fold
+	repeats  int
+	pending  map[int]pendingRun
+	acc      *experiment.Accumulator
+	failures int
+	firstErr error // lowest-repeat-index error, matching the batch engine
+	done     chan struct{}
+}
+
+type pendingRun struct {
+	res *core.Result
+	err error
+}
+
+// deposit hands repeat rep's outcome to the reducer. Exactly one call per
+// repeat; the cell's done channel closes when the last repeat has folded.
+func (cs *cellState) deposit(rep int, res *core.Result, err error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if rep != cs.next {
+		if cs.pending == nil {
+			cs.pending = make(map[int]pendingRun)
+		}
+		cs.pending[rep] = pendingRun{res: res, err: err}
+		return
+	}
+	cs.fold(res, err)
+	for {
+		p, ok := cs.pending[cs.next]
+		if !ok {
+			break
+		}
+		delete(cs.pending, cs.next)
+		cs.fold(p.res, p.err)
+	}
+	if cs.next == cs.repeats {
+		close(cs.done)
+	}
+}
+
+func (cs *cellState) fold(res *core.Result, err error) {
+	if err != nil {
+		cs.failures++
+		if cs.firstErr == nil {
+			cs.firstErr = err
+		}
+	} else {
+		cs.acc.Add(res)
+	}
+	cs.next++
+}
 
 // resolvedCell pairs a cell with its materialised topology and config.
 type resolvedCell struct {
@@ -434,21 +523,32 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 		workers = total
 	}
 
-	// One shared pool over every selected (cell, repeat) job. Results land
-	// in per-cell slices by repeat index, so aggregation order — and hence
-	// the emitted rows — is independent of scheduling.
-	results := make([][]*core.Result, len(cells))
-	errs := make([][]error, len(cells))
-	remaining := make([]atomic.Int32, len(cells))
-	done := make([]chan struct{}, len(cells))
+	// One shared pool over every selected (cell, repeat) job, reduced per
+	// cell by a streaming index-ordered fold: workers deposit results as
+	// they finish, the reducer folds them into the cell's Accumulator
+	// strictly in repeat order (out-of-order arrivals wait in a small
+	// pending map bounded by pool concurrency) and frees each Result
+	// immediately. Rows are therefore a pure function of the Spec
+	// regardless of worker count — the fold order never depends on
+	// scheduling — and a cell's memory is O(workers) Results instead of
+	// O(repeats), which is what lets one 10⁵–10⁶-node cell run wide
+	// without buffering every repeat's n-sized assignment.
+	states := make([]*cellState, len(cells))
 	for i := range cells {
 		if !selected[i] {
 			continue
 		}
-		results[i] = make([]*core.Result, spec.Repeats)
-		errs[i] = make([]error, spec.Repeats)
-		remaining[i].Store(int32(spec.Repeats))
-		done[i] = make(chan struct{})
+		rc := resolved[i]
+		acc := experiment.NewAccumulator(experiment.Spec{
+			GridSize: rc.cell.Topology.gridSize(),
+			Topology: rc.g,
+			Sink:     rc.sink,
+			Source:   rc.source,
+			Config:   rc.cfg,
+			Repeats:  rc.cell.Repeats,
+			BaseSeed: rc.cell.BaseSeed,
+		}, rc.g)
+		states[i] = &cellState{repeats: spec.Repeats, acc: acc, done: make(chan struct{})}
 	}
 
 	type job struct{ cell, rep int }
@@ -476,13 +576,9 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 					res, err = exec(rc.g, rc.sink, rc.source, rc.cfg, seed)
 				}
 				if err != nil {
-					errs[j.cell][j.rep] = fmt.Errorf("campaign: cell %d seed %d: %w", j.cell, seed, err)
-				} else {
-					results[j.cell][j.rep] = res
+					err = fmt.Errorf("campaign: cell %d seed %d: %w", j.cell, seed, err)
 				}
-				if remaining[j.cell].Add(-1) == 0 {
-					close(done[j.cell])
-				}
+				states[j.cell].deposit(j.rep, res, err)
 			}
 		}()
 	}
@@ -519,28 +615,17 @@ func run(spec Spec, exec runner, sinks ...Sink) (*Summary, error) {
 			sum.Skipped++
 			continue
 		}
-		<-done[i]
+		st := states[i]
+		<-st.done
 		rc := resolved[i]
-		agg := experiment.AggregateResults(experiment.Spec{
-			GridSize: rc.cell.Topology.gridSize(),
-			Topology: rc.g,
-			Sink:     rc.sink,
-			Source:   rc.source,
-			Config:   rc.cfg,
-			Repeats:  rc.cell.Repeats,
-			BaseSeed: rc.cell.BaseSeed,
-		}, rc.g, results[i])
-		for _, e := range errs[i] {
-			if e != nil {
-				agg.Failures++
-				if firstErr == nil {
-					firstErr = e
-				}
-			}
+		agg := st.acc.Finalize()
+		agg.Failures = st.failures
+		if st.firstErr != nil && firstErr == nil {
+			firstErr = st.firstErr
 		}
-		// Release the cell's raw results so a long campaign's memory is
-		// bounded by in-flight cells, not total runs.
-		results[i], errs[i] = nil, nil
+		// Release the cell's reduction state so a long campaign's memory
+		// is bounded by in-flight cells, not total runs.
+		states[i] = nil
 		row := makeRow(rc.cell, rc.g, agg)
 		sum.Rows = append(sum.Rows, row)
 		sum.Failures += agg.Failures

@@ -375,3 +375,51 @@ func TestStrategyAxisDeterminism(t *testing.T) {
 		t.Errorf("row 0 coordinates: %+v", rows[0])
 	}
 }
+
+// TestIntraCellParallelismLargeRGGDeterministic pins the intra-cell
+// reduction on a cell big enough that repeats genuinely interleave: one
+// 600-node random geometric cell whose repeats are partitioned across
+// the pool differently at every worker count, folded by the index-ordered
+// cellState reducer. The rows — aggregates folded strictly in repeat
+// order — must be byte-identical at 1, 2 and 4 workers. This is also the
+// cell the race CI job drives: a 600-node graph keeps thousands of
+// arena/pool interactions under the race detector without the Table-I
+// config making the job take minutes.
+func TestIntraCellParallelismLargeRGGDeterministic(t *testing.T) {
+	size := 600
+	if testing.Short() {
+		size = 250
+	}
+	spec := Spec{
+		Topologies: []TopologySpec{{Kind: KindRGG, Size: size, Seed: 3}},
+		Protocols:  []string{Protectionless},
+		Repeats:    8,
+		BaseSeed:   9,
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		s := spec
+		s.Workers = workers
+		sink := NewJSONL(&buf)
+		if _, err := Run(s, sink); err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	base := render(1)
+	rows, err := ReadJSONL(bytes.NewReader(base))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Repeats != 8 {
+		t.Fatalf("want one 8-repeat row, got %+v", rows)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := render(workers); !bytes.Equal(base, got) {
+			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, got, base)
+		}
+	}
+}

@@ -84,7 +84,30 @@ type Config struct {
 	Collisions bool
 	// EventBudget bounds simulator events per run (0 = default 50M).
 	EventBudget uint64
+	// FastCollisionResolve lets a collision loser jump directly to the
+	// nearest slot below its own that no 2-hop neighbour occupies, instead
+	// of Figure 2's unit decrement. Both converge to a collision-free weak
+	// DAS, but the unit decrement re-floods the neighbourhood once per
+	// slot of descent — on deep random geometric graphs that is ~95% of
+	// all dissemination traffic and grows superlinearly with n (the
+	// descending slot bands of neighbouring branches keep re-colliding).
+	// Off by default: the schedules reached differ (deterministically)
+	// from the paper's, so Table I evaluations keep the faithful rule.
+	FastCollisionResolve bool
+	// PathCap bounds per-attacker walk recording in Results: 0 (default)
+	// records the full walk, N > 0 keeps only the first N visited
+	// locations (including s0), PathRecordingOff disables recording beyond
+	// s0. Capture verdicts, capture times and per-attacker move counts
+	// (Result.AttackerMoves) are unaffected — only the replayable walk in
+	// AttackerPath/AttackerPaths is truncated. At 10⁵–10⁶ nodes a full
+	// walk is tens of thousands of entries per attacker per run; campaigns
+	// never render walks and disable recording by default.
+	PathCap int
 }
+
+// PathRecordingOff is the Config.PathCap value that disables attacker
+// walk recording (paths keep only the start location).
+const PathRecordingOff = -1
 
 // Default returns the Table I parameters with SD = 3.
 func Default() Config {
@@ -155,6 +178,9 @@ func (c Config) Validate() error {
 	}
 	if c.AttackerCount < 0 {
 		return fmt.Errorf("core: attacker count must be >= 0, got %d", c.AttackerCount)
+	}
+	if c.PathCap < PathRecordingOff {
+		return fmt.Errorf("core: path cap must be >= %d (off), got %d", PathRecordingOff, c.PathCap)
 	}
 	return nil
 }

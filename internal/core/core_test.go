@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -598,5 +599,106 @@ func TestRunTerminatesUnderTotalLoss(t *testing.T) {
 		if res.SourceDeliveries != 0 {
 			t.Errorf("%d deliveries under 100%% loss (SLP=%v)", res.SourceDeliveries, cfg.SLP)
 		}
+	}
+}
+
+func TestPathCapValidation(t *testing.T) {
+	cfg := Default()
+	cfg.PathCap = PathRecordingOff
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("PathRecordingOff rejected: %v", err)
+	}
+	cfg.PathCap = 7
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("positive path cap rejected: %v", err)
+	}
+	cfg.PathCap = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("PathCap -2 validated")
+	}
+}
+
+func TestPathCapPreservesOutcomeAndMoves(t *testing.T) {
+	// Capping (or disabling) walk recording must change nothing but the
+	// recorded paths: capture verdict, timing, hop counts and per-attacker
+	// move totals all survive, and whatever IS recorded is a prefix of the
+	// full walk.
+	side := 7
+	g := grid(t, side)
+	base := Default()
+	base.AttackerCount = 2
+	full := run(t, g, side, base, 1)
+	if len(full.AttackerMoves) != 2 {
+		t.Fatalf("AttackerMoves = %v, want one entry per attacker", full.AttackerMoves)
+	}
+	for i, p := range full.AttackerPaths {
+		if want := len(p) - 1; full.AttackerMoves[i] != want {
+			t.Errorf("attacker %d: Moves=%d but full path has %d relocations",
+				i, full.AttackerMoves[i], want)
+		}
+	}
+	for name, cap := range map[string]int{"off": PathRecordingOff, "capped": 3} {
+		cfg := base
+		cfg.PathCap = cap
+		res := run(t, g, side, cfg, 1)
+		if res.Captured != full.Captured || res.CaptureAt != full.CaptureAt ||
+			res.CapturePeriods != full.CapturePeriods || res.CaptureBy != full.CaptureBy {
+			t.Errorf("%s: capture outcome changed: %+v vs full", name, res.Captured)
+		}
+		for i := range full.AttackerMoves {
+			if res.AttackerMoves[i] != full.AttackerMoves[i] {
+				t.Errorf("%s: attacker %d moves %d, want %d",
+					name, i, res.AttackerMoves[i], full.AttackerMoves[i])
+			}
+		}
+		wantLen := func(fullLen int) int {
+			if cap == PathRecordingOff {
+				return 1
+			}
+			return min(fullLen, cap)
+		}
+		for i, p := range res.AttackerPaths {
+			fp := full.AttackerPaths[i]
+			if len(p) != wantLen(len(fp)) {
+				t.Fatalf("%s: attacker %d path %v, want first %d of %v", name, i, p, wantLen(len(fp)), fp)
+			}
+			for j := range p {
+				if p[j] != fp[j] {
+					t.Errorf("%s: attacker %d path %v is not a prefix of %v", name, i, p, fp)
+				}
+			}
+		}
+		if len(res.AttackerPath) != wantLen(len(full.AttackerPath)) {
+			t.Errorf("%s: legacy AttackerPath %v, want prefix of %v", name, res.AttackerPath, full.AttackerPath)
+		}
+	}
+}
+
+func TestSlotExhaustionDoesNotLivelock(t *testing.T) {
+	// Regression: when the slot space is too small for the topology, nodes
+	// end up pinned at slot 0 while still colliding with 2-hop neighbours
+	// (the update phase clamps forced slot drops at 0, so equal-zero slots
+	// accumulate). The resolve action used to stay enabled but unable to
+	// descend, spinning until the GCN step budget killed the process. A
+	// small random geometric graph with 4 slots reproduces the pin-up on
+	// every seed; the run must complete (reporting an invalid schedule)
+	// rather than fail.
+	side := math.Sqrt(60) * topo.DefaultSpacing
+	g, err := topo.RandomGeometric(60, side, side, 2.2*topo.DefaultSpacing, 1)
+	if err != nil {
+		t.Fatalf("rgg: %v", err)
+	}
+	cfg := Default()
+	cfg.Slots = 4
+	net, err := NewNetwork(g, nearestTo(g, topo.Point{X: side / 2, Y: side / 2}), 0, cfg, 1)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ScheduleValid() {
+		t.Error("3-slot clique produced a valid schedule; the regression scenario no longer bites")
 	}
 }

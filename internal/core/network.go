@@ -221,6 +221,10 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 		if shared != nil {
 			atk.ShareHistory(shared)
 		}
+		if cfg.PathCap != 0 {
+			// PathRecordingOff maps to the attacker's "start only" cap.
+			atk.SetPathCap(cfg.PathCap)
+		}
 		n.atks = append(n.atks, atk)
 	}
 	return nil
@@ -497,6 +501,7 @@ func (n *Network) collect() *Result {
 	// safety deadline; ties on time break by attacker index.
 	for i, atk := range n.atks {
 		res.AttackerPaths = append(res.AttackerPaths, atk.Path())
+		res.AttackerMoves = append(res.AttackerMoves, atk.Moves())
 		captured, at := atk.Captured()
 		if !captured || at > n.deadline {
 			continue

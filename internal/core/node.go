@@ -201,10 +201,13 @@ func (n *node) install() {
 	n.decide = p.NewTimer("process", n.chooseSlot)
 
 	// Detection of slot collision then resolve (Figure 2, final lines).
-	p.AddGuard("resolve", func() bool { return n.collisionLoser() != topo.None }, func() {
-		if n.slot > 0 {
-			n.setSlot(n.slot - 1)
-		}
+	// The slot > 0 condition lives in the guard, not the body: a node
+	// pinned at slot 0 that still collides must quiesce (the schedule
+	// stays invalid and is reported as such), not spin firing a no-op
+	// action until the step budget kills the process. Grids deep enough
+	// to exhaust the slot space hit this; Table I's never do.
+	p.AddGuard("resolve", func() bool { return n.slot > 0 && n.collisionLoser() != topo.None }, func() {
+		n.setSlot(n.resolveTarget())
 	})
 
 	// startR (Figure 4): begin the change process once selected.
@@ -494,6 +497,32 @@ func (n *node) collisionLoser() topo.NodeID {
 		}
 	}
 	return topo.None
+}
+
+// resolveTarget is the slot a collision loser descends to. Figure 2
+// decrements by one; with FastCollisionResolve the loser jumps straight
+// to the nearest slot below its own that no known 2-hop neighbour holds,
+// reaching the same collision-free fixed point without broadcasting one
+// dissemination wave per slot of descent. Falls back to the unit
+// decrement when every slot down to 0 is occupied, so progress (and the
+// guard's slot > 0 termination) is identical in the worst case.
+func (n *node) resolveTarget() int32 {
+	if !n.net.cfg.FastCollisionResolve {
+		return n.slot - 1
+	}
+	for s := n.slot - 1; s > 0; s-- {
+		taken := false
+		for k, j := range n.ninfo.ids {
+			if j != n.id && n.ninfo.infos[k].slot == s {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return s
+		}
+	}
+	return n.slot - 1
 }
 
 // --- Figure 3: NSearch ---

@@ -28,10 +28,14 @@ type Result struct {
 
 	// Attacker-team coordinates: the strategy name, the number of
 	// eavesdroppers, which one captured (-1 = none) and every walk.
+	// AttackerPath/AttackerPaths honour Config.PathCap (full by default);
+	// AttackerMoves always carries each eavesdropper's full relocation
+	// count, so walk lengths survive even with recording capped or off.
 	Strategy      string
 	Attackers     int
 	CaptureBy     int
 	AttackerPaths [][]topo.NodeID
+	AttackerMoves []int
 
 	// Schedule quality at data start.
 	Assignment          *schedule.Assignment

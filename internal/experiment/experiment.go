@@ -92,6 +92,129 @@ func AggregateResults(spec Spec, g *topo.Graph, results []*core.Result) *Aggrega
 	return aggregate(spec, g, results)
 }
 
+// Accumulator folds the per-run Results of one cell into an Aggregate one
+// result at a time, in repeat order, so a scheduler can summarise a cell
+// without ever holding all of its Results in memory — the campaign
+// engine's streaming reduction feeds each result in as it arrives and
+// frees it immediately, which is what makes 10⁵–10⁶-node cells feasible
+// (one Result carries an n-sized slot assignment).
+//
+// With KeepResults set the accumulator retains every added Result and
+// finalises with the batch metrics.Summarize — bit-for-bit the historical
+// aggregate, for callers that walk Aggregate.Results afterwards (figure
+// rendering, the fig5a compat golden). Without it the series stream
+// through metrics.Stream: N, Mean, Min and Max stay byte-identical to the
+// batch path (Stream reproduces Summarize's exact operation order for
+// those), only Summary.Std's low bits may differ — and no row-level
+// campaign output renders Std.
+type Accumulator struct {
+	spec Spec
+	agg  *Aggregate
+
+	// KeepResults retains added Results on the Aggregate and switches
+	// finalisation to batch Summarize. Set it before the first Add.
+	KeepResults bool
+
+	capPeriods, ctrlMsgs, ctrlBytes, totMsgs, changed, deliveries, latency series
+	byType                                                                 map[wire.Type]*series
+}
+
+// series accumulates one metric either as the raw sample (batch mode) or
+// as streaming state, depending on the owning Accumulator's mode.
+type series struct {
+	xs     []float64
+	stream metrics.Stream
+}
+
+func (s *series) add(x float64, keep bool) {
+	if keep {
+		s.xs = append(s.xs, x)
+	} else {
+		s.stream.Add(x)
+	}
+}
+
+func (s *series) summary(keep bool) metrics.Summary {
+	if keep {
+		return metrics.Summarize(s.xs)
+	}
+	return s.stream.Summary()
+}
+
+// NewAccumulator prepares an empty aggregate for one cell.
+func NewAccumulator(spec Spec, g *topo.Graph) *Accumulator {
+	agg := &Aggregate{
+		Protocol:       protocolLabel(spec.Config),
+		Nodes:          g.Len(),
+		GridSize:       spec.GridSize,
+		Repeats:        spec.Repeats,
+		Strategy:       spec.Config.StrategyLabel(),
+		Attackers:      spec.Config.Attackers(),
+		SharedHistory:  spec.Config.SharedHistory,
+		MessagesByType: make(map[wire.Type]metrics.Summary),
+	}
+	agg.Name = fmt.Sprintf("%s/%s", g.Name(), agg.Protocol)
+	return &Accumulator{spec: spec, agg: agg, byType: make(map[wire.Type]*series)}
+}
+
+// Add folds one run's result in. Nil results (failed runs) are ignored;
+// callers account failures separately, as with AggregateResults. Results
+// must be added in repeat order for byte-identical aggregates.
+func (a *Accumulator) Add(r *core.Result) {
+	if r == nil {
+		return
+	}
+	if a.KeepResults {
+		a.agg.Results = append(a.agg.Results, r)
+	}
+	a.agg.CaptureRatio.Trials++
+	a.agg.ScheduleValid.Trials++
+	if r.Captured {
+		a.agg.CaptureRatio.Successes++
+		a.capPeriods.add(r.CapturePeriods, a.KeepResults)
+	}
+	if r.ScheduleValid() {
+		a.agg.ScheduleValid.Successes++
+	}
+	if a.spec.Config.SLP {
+		a.agg.SearchSucceeded.Trials++
+		if r.ChangedNodes > 0 {
+			a.agg.SearchSucceeded.Successes++
+		}
+	}
+	a.ctrlMsgs.add(float64(r.ControlMessages()), a.KeepResults)
+	a.ctrlBytes.add(float64(r.ControlBytes()), a.KeepResults)
+	a.totMsgs.add(float64(r.TotalMessages()), a.KeepResults)
+	a.changed.add(float64(r.ChangedNodes), a.KeepResults)
+	a.deliveries.add(float64(r.SourceDeliveries), a.KeepResults)
+	if l := r.MeanDeliveryLatency(); l >= 0 {
+		a.latency.add(l, a.KeepResults)
+	}
+	for t, s := range r.Messages {
+		bt := a.byType[t]
+		if bt == nil {
+			bt = &series{}
+			a.byType[t] = bt
+		}
+		bt.add(float64(s.Count), a.KeepResults)
+	}
+}
+
+// Finalize summarises everything added so far and returns the aggregate.
+func (a *Accumulator) Finalize() *Aggregate {
+	a.agg.CapturePeriods = a.capPeriods.summary(a.KeepResults)
+	a.agg.ControlMessages = a.ctrlMsgs.summary(a.KeepResults)
+	a.agg.ControlBytes = a.ctrlBytes.summary(a.KeepResults)
+	a.agg.TotalMessages = a.totMsgs.summary(a.KeepResults)
+	a.agg.ChangedNodes = a.changed.summary(a.KeepResults)
+	a.agg.SourceDeliveries = a.deliveries.summary(a.KeepResults)
+	a.agg.DeliveryLatency = a.latency.summary(a.KeepResults)
+	for t, s := range a.byType {
+		a.agg.MessagesByType[t] = s.summary(a.KeepResults)
+	}
+	return a.agg
+}
+
 // Aggregate is the summary of one experimental cell.
 type Aggregate struct {
 	Name     string
@@ -188,63 +311,12 @@ func Run(spec Spec) (*Aggregate, error) {
 }
 
 func aggregate(spec Spec, g *topo.Graph, results []*core.Result) *Aggregate {
-	agg := &Aggregate{
-		Protocol:       protocolLabel(spec.Config),
-		Nodes:          g.Len(),
-		GridSize:       spec.GridSize,
-		Repeats:        spec.Repeats,
-		Strategy:       spec.Config.StrategyLabel(),
-		Attackers:      spec.Config.Attackers(),
-		SharedHistory:  spec.Config.SharedHistory,
-		MessagesByType: make(map[wire.Type]metrics.Summary),
-	}
-	agg.Name = fmt.Sprintf("%s/%s", g.Name(), agg.Protocol)
-
-	var capPeriods, ctrlMsgs, ctrlBytes, totMsgs, changed, deliveries, latency []float64
-	byType := make(map[wire.Type][]float64)
+	acc := NewAccumulator(spec, g)
+	acc.KeepResults = true
 	for _, r := range results {
-		if r == nil {
-			continue
-		}
-		agg.Results = append(agg.Results, r)
-		agg.CaptureRatio.Trials++
-		agg.ScheduleValid.Trials++
-		if r.Captured {
-			agg.CaptureRatio.Successes++
-			capPeriods = append(capPeriods, r.CapturePeriods)
-		}
-		if r.ScheduleValid() {
-			agg.ScheduleValid.Successes++
-		}
-		if spec.Config.SLP {
-			agg.SearchSucceeded.Trials++
-			if r.ChangedNodes > 0 {
-				agg.SearchSucceeded.Successes++
-			}
-		}
-		ctrlMsgs = append(ctrlMsgs, float64(r.ControlMessages()))
-		ctrlBytes = append(ctrlBytes, float64(r.ControlBytes()))
-		totMsgs = append(totMsgs, float64(r.TotalMessages()))
-		changed = append(changed, float64(r.ChangedNodes))
-		deliveries = append(deliveries, float64(r.SourceDeliveries))
-		if l := r.MeanDeliveryLatency(); l >= 0 {
-			latency = append(latency, l)
-		}
-		for t, s := range r.Messages {
-			byType[t] = append(byType[t], float64(s.Count))
-		}
+		acc.Add(r)
 	}
-	agg.CapturePeriods = metrics.Summarize(capPeriods)
-	agg.ControlMessages = metrics.Summarize(ctrlMsgs)
-	agg.ControlBytes = metrics.Summarize(ctrlBytes)
-	agg.TotalMessages = metrics.Summarize(totMsgs)
-	agg.ChangedNodes = metrics.Summarize(changed)
-	agg.SourceDeliveries = metrics.Summarize(deliveries)
-	agg.DeliveryLatency = metrics.Summarize(latency)
-	for t, xs := range byType {
-		agg.MessagesByType[t] = metrics.Summarize(xs)
-	}
-	return agg
+	return acc.Finalize()
 }
 
 func protocolLabel(c core.Config) string {

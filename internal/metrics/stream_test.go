@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// ulpDiff returns the number of representable float64 values between a and
+// b (0 when bit-identical). NaNs and mismatched infinities count as far
+// apart; equal infinities as 0.
+func ulpDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	if a == b {
+		return 0
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.MaxUint64
+	}
+	// Map the float ordering onto a monotone integer ordering.
+	ord := func(x float64) int64 {
+		bits := int64(math.Float64bits(x))
+		if bits < 0 {
+			bits = math.MinInt64 - bits
+		}
+		return bits
+	}
+	oa, ob := ord(a), ord(b)
+	if oa > ob {
+		oa, ob = ob, oa
+	}
+	return uint64(ob - oa)
+}
+
+func streamOf(xs []float64) Summary {
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Summary()
+}
+
+// TestStreamMatchesBatchExactly pins the satellite contract on the
+// by-construction-exact fields: N, Mean, Min and Max from Stream are
+// byte-identical to Summarize on any input, because the operations and
+// their order are the same.
+func TestStreamMatchesBatchExactly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	cases := [][]float64{
+		nil,
+		{3.25},
+		{1, 2, 3, 4, 5},
+		{0.1, 0.2, 0.3}, // sums that round
+	}
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 1+rng.IntN(200))
+		for i := range xs {
+			xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.IntN(12)-6))
+		}
+		cases = append(cases, xs)
+	}
+	for i, xs := range cases {
+		batch, stream := Summarize(xs), streamOf(xs)
+		if batch.N != stream.N {
+			t.Fatalf("case %d: N %d != %d", i, stream.N, batch.N)
+		}
+		for _, f := range []struct {
+			name string
+			b, s float64
+		}{{"Mean", batch.Mean, stream.Mean}, {"Min", batch.Min, stream.Min}, {"Max", batch.Max, stream.Max}} {
+			if math.Float64bits(f.b) != math.Float64bits(f.s) {
+				t.Errorf("case %d: %s stream %v != batch %v (not byte-identical)", i, f.name, f.s, f.b)
+			}
+		}
+	}
+}
+
+// TestStreamStdAdversarial pins Welford Std within 1 ULP of the two-pass
+// batch estimator on the adversarial inputs of the determinism satellite:
+// constant samples, alternating-sign cancellation, and 1e±300 magnitudes
+// where the naive sum-of-squares overflows or underflows.
+func TestStreamStdAdversarial(t *testing.T) {
+	rep := func(x float64, n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = x
+		}
+		return xs
+	}
+	alt := func(x float64, n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			if i%2 == 1 {
+				xs[i] = -x
+			} else {
+				xs[i] = x
+			}
+		}
+		return xs
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"constant-3.5", rep(3.5, 8)},
+		{"constant-neg-2.25", rep(-2.25, 5)},
+		{"constant-1e300", rep(1e300, 6)},
+		{"constant-1e-300", rep(1e-300, 6)},
+		{"alternating-1", alt(1, 2)},
+		{"alternating-1-n12", alt(1, 12)},
+		{"alternating-0.5", alt(0.5, 16)},
+		{"alternating-1e300", alt(1e300, 8)},
+		{"alternating-1e-300", alt(1e-300, 8)},
+		{"mixed-magnitudes", []float64{1e300, -1e300, 1e-300, -1e-300, 0, 1e300}},
+	}
+	for _, tc := range cases {
+		batch, stream := Summarize(tc.xs), streamOf(tc.xs)
+		if d := ulpDiff(batch.Std, stream.Std); d > 1 {
+			t.Errorf("%s: Std stream %v vs batch %v differ by %d ULPs", tc.name, stream.Std, batch.Std, d)
+		}
+		if math.Float64bits(batch.Mean) != math.Float64bits(stream.Mean) {
+			t.Errorf("%s: Mean stream %v != batch %v", tc.name, stream.Mean, batch.Mean)
+		}
+	}
+}
+
+// TestStreamStdRandomClose sanity-checks Welford against two-pass on
+// well-conditioned random data: a loose relative bound, since the two
+// algorithms only agree exactly in infinite precision.
+func TestStreamStdRandomClose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 30; trial++ {
+		xs := make([]float64, 2+rng.IntN(500))
+		for i := range xs {
+			xs[i] = 100 + rng.Float64()
+		}
+		batch, stream := Summarize(xs), streamOf(xs)
+		if batch.Std == 0 {
+			continue
+		}
+		if rel := math.Abs(batch.Std-stream.Std) / batch.Std; rel > 1e-10 {
+			t.Errorf("trial %d: Std relative difference %g (stream %v batch %v)", trial, rel, stream.Std, batch.Std)
+		}
+	}
+}

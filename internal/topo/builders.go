@@ -91,18 +91,23 @@ func RandomGeometric(n int, width, height, radioRange float64, seed uint64) (*Gr
 	}
 	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	const maxAttempts = 64
+	positions := make([]Point, n)
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		positions := make([]Point, n)
 		for i := range positions {
 			positions[i] = Point{X: rng.Float64() * width, Y: rng.Float64() * height}
 		}
-		g, err := NewGraph(fmt.Sprintf("rgg-%d", n), positions, radioRange)
-		if err != nil {
+		if err := validateGraphInput(positions, radioRange); err != nil {
 			return nil, err
 		}
-		if g.Connected() {
-			return g, nil
+		// Rejected layouts only pay for the raw edge scan plus a
+		// union-find connectivity pass — CSR assembly (the allocation-
+		// heavy half of construction) happens once, on the accepted
+		// layout.
+		edges, degree := unitDiskEdges(positions, radioRange)
+		if !edgesConnected(n, edges) {
+			continue
 		}
+		return assembleGraph(fmt.Sprintf("rgg-%d", n), positions, radioRange, edges, degree), nil
 	}
 	return nil, fmt.Errorf("topo: failed to build a connected random geometric graph (n=%d range=%.2f) after %d attempts", n, radioRange, maxAttempts)
 }

@@ -8,6 +8,7 @@ package topo
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -58,37 +59,230 @@ type Graph struct {
 	twoHopFlat []NodeID
 }
 
-// NewGraph builds a unit-disk graph over the given positions: nodes i and j
-// share an edge iff their distance is at most radioRange. It returns an
-// error if radioRange is not positive or no positions are supplied.
-func NewGraph(name string, positions []Point, radioRange float64) (*Graph, error) {
+// rangeEps is the slack added to the radio range when testing whether two
+// nodes are linked, absorbing floating-point noise in distances that are
+// exactly at range (e.g. grid neighbours at spacing == radioRange).
+const rangeEps = 1e-9
+
+// edge is one undirected link, stored with a < b.
+type edge struct{ a, b NodeID }
+
+// validateGraphInput checks the shared NewGraph/RandomGeometric input
+// contract: at least one position, a positive finite radio range, and
+// finite coordinates. Non-finite coordinates previously slipped through —
+// every DistanceTo comparison against a NaN/±Inf position is false, so the
+// node silently ended up isolated instead of failing loudly.
+func validateGraphInput(positions []Point, radioRange float64) error {
 	if len(positions) == 0 {
-		return nil, fmt.Errorf("topo: no positions supplied")
+		return fmt.Errorf("topo: no positions supplied")
 	}
 	if radioRange <= 0 {
-		return nil, fmt.Errorf("topo: radio range must be positive, got %v", radioRange)
+		return fmt.Errorf("topo: radio range must be positive, got %v", radioRange)
 	}
+	if math.IsNaN(radioRange) || math.IsInf(radioRange, 0) {
+		return fmt.Errorf("topo: radio range must be finite, got %v", radioRange)
+	}
+	for i, p := range positions {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("topo: position %d is not finite: %v", i, p)
+		}
+	}
+	return nil
+}
+
+// NewGraph builds a unit-disk graph over the given positions: nodes i and j
+// share an edge iff their distance is at most radioRange. It returns an
+// error if radioRange is not positive and finite, no positions are
+// supplied, or any coordinate is NaN/±Inf.
+//
+// Neighbour discovery runs on a spatial-hash bucket grid (cells no smaller
+// than the radio range, candidates from the 3×3 bucket neighbourhood), so
+// construction is O(n + edges) for bounded-density layouts instead of the
+// all-pairs O(n²) scan — the difference between milliseconds and hours at
+// 10⁶ nodes. The result is pinned byte-identical to the naive scan (kept
+// below as newGraphNaive) by the equivalence tests in equiv_test.go.
+func NewGraph(name string, positions []Point, radioRange float64) (*Graph, error) {
+	if err := validateGraphInput(positions, radioRange); err != nil {
+		return nil, err
+	}
+	edges, degree := unitDiskEdges(positions, radioRange)
+	return assembleGraph(name, positions, radioRange, edges, degree), nil
+}
+
+// newGraphNaive is the original O(n²) all-pairs reference implementation.
+// It is retained solely so the property/equivalence tests can pin the
+// spatial-hash path byte-identical against it; production callers always
+// go through NewGraph.
+func newGraphNaive(name string, positions []Point, radioRange float64) (*Graph, error) {
+	if err := validateGraphInput(positions, radioRange); err != nil {
+		return nil, err
+	}
+	edges, degree := unitDiskEdgesNaive(positions, radioRange)
+	return assembleGraph(name, positions, radioRange, edges, degree), nil
+}
+
+// unitDiskEdgesNaive enumerates all in-range pairs (a < b) by brute force,
+// in (a, b) ascending order.
+func unitDiskEdgesNaive(positions []Point, radioRange float64) ([]edge, []int32) {
+	degree := make([]int32, len(positions))
+	var edges []edge
+	for i := range positions {
+		for j := i + 1; j < len(positions); j++ {
+			if positions[i].DistanceTo(positions[j]) <= radioRange+rangeEps {
+				edges = append(edges, edge{NodeID(i), NodeID(j)})
+				degree[i]++
+				degree[j]++
+			}
+		}
+	}
+	return edges, degree
+}
+
+// unitDiskEdges enumerates all in-range pairs (a < b) with a spatial hash.
+// The edge set — and every distance comparison that decides it — is
+// identical to unitDiskEdgesNaive: each surviving pair is accepted by the
+// same positions[i].DistanceTo(positions[j]) <= radioRange+rangeEps test
+// with i < j, so float rounding matches bit for bit. Edges are emitted in
+// ascending a; per-a neighbour order is bucket order, which assembleGraph
+// re-sorts.
+//
+// The cell side exceeds the link limit by a guard proportional to the
+// coordinate spread: the coordinate→cell map rounds (p - min)/cell, whose
+// absolute error grows with the spread, and the guard keeps two in-range
+// nodes within one cell of each other even at extreme spreads (the
+// degenerate layouts the fuzz target throws at it). Buckets are a dense
+// grid when the field is compact, and a hash map keyed by packed cell
+// coordinates when the field is so sparse a dense grid would dwarf n.
+func unitDiskEdges(positions []Point, radioRange float64) ([]edge, []int32) {
+	n := len(positions)
+	degree := make([]int32, n)
+	limit := radioRange + rangeEps
+
+	minX, minY := positions[0].X, positions[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range positions[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spread := math.Max(maxX-minX, maxY-minY)
+	// cell ≥ limit + spread·2⁻³⁰ ≥ limit + (total rounding error of the
+	// coordinate→cell map), so |cell(i) - cell(j)| ≤ 1 per axis for every
+	// in-range pair; the 2⁻³⁰ term also caps the grid at 2³⁰ cells/axis.
+	cell := limit*(1+0x1p-20) + spread*0x1p-30
+
+	cx := make([]int32, n)
+	cy := make([]int32, n)
+	var nx, ny int64 = 1, 1
+	for i, p := range positions {
+		x := int64(math.Floor((p.X - minX) / cell))
+		y := int64(math.Floor((p.Y - minY) / cell))
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		cx[i], cy[i] = int32(x), int32(y)
+		if x+1 > nx {
+			nx = x + 1
+		}
+		if y+1 > ny {
+			ny = y + 1
+		}
+	}
+
+	edges := make([]edge, 0, 4*n)
+	test := func(i, j int32) { // i < j
+		if positions[i].DistanceTo(positions[j]) <= limit {
+			edges = append(edges, edge{NodeID(i), NodeID(j)})
+			degree[i]++
+			degree[j]++
+		}
+	}
+
+	if total := nx * ny; total <= int64(4*n+64) {
+		// Dense grid: bucket b = cy·nx + cx, nodes grouped by counting
+		// sort (so every bucket lists its nodes in ascending ID order).
+		start := make([]int32, total+1)
+		for i := 0; i < n; i++ {
+			start[int64(cy[i])*nx+int64(cx[i])+1]++
+		}
+		for b := int64(1); b <= total; b++ {
+			start[b] += start[b-1]
+		}
+		ids := make([]int32, n)
+		next := append([]int32(nil), start[:total]...)
+		for i := 0; i < n; i++ {
+			b := int64(cy[i])*nx + int64(cx[i])
+			ids[next[b]] = int32(i)
+			next[b]++
+		}
+		for i := 0; i < n; i++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				yy := int64(cy[i]) + dy
+				if yy < 0 || yy >= ny {
+					continue
+				}
+				for dx := int64(-1); dx <= 1; dx++ {
+					xx := int64(cx[i]) + dx
+					if xx < 0 || xx >= nx {
+						continue
+					}
+					b := yy*nx + xx
+					for _, j := range ids[start[b]:start[b+1]] {
+						if int(j) > i {
+							test(int32(i), j)
+						}
+					}
+				}
+			}
+		}
+		return edges, degree
+	}
+
+	// Sparse field: hash buckets by packed cell coordinates (≤ 2³⁰ per
+	// axis, so the pack is lossless).
+	key := func(x, y int64) int64 { return x<<31 | y }
+	buckets := make(map[int64][]int32, n)
+	for i := 0; i < n; i++ {
+		k := key(int64(cx[i]), int64(cy[i]))
+		buckets[k] = append(buckets[k], int32(i)) // ascending i per bucket
+	}
+	for i := 0; i < n; i++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			yy := int64(cy[i]) + dy
+			if yy < 0 {
+				continue
+			}
+			for dx := int64(-1); dx <= 1; dx++ {
+				xx := int64(cx[i]) + dx
+				if xx < 0 {
+					continue
+				}
+				for _, j := range buckets[key(xx, yy)] {
+					if int(j) > i {
+						test(int32(i), j)
+					}
+				}
+			}
+		}
+	}
+	return edges, degree
+}
+
+// assembleGraph flattens a precomputed edge set into the CSR adjacency.
+// Per-node neighbour lists are sorted ascending regardless of the edge
+// enumeration order, so the spatial-hash and naive paths assemble the same
+// bytes.
+func assembleGraph(name string, positions []Point, radioRange float64, edges []edge, degree []int32) *Graph {
 	g := &Graph{
 		name:       name,
 		positions:  append([]Point(nil), positions...),
 		radioRange: radioRange,
+		edgeCount:  len(edges),
 	}
-	const eps = 1e-9
-	degree := make([]int32, len(positions))
-	type edge struct{ a, b NodeID }
-	var edges []edge
-	for i := range positions {
-		for j := i + 1; j < len(positions); j++ {
-			if positions[i].DistanceTo(positions[j]) <= radioRange+eps {
-				edges = append(edges, edge{NodeID(i), NodeID(j)})
-				degree[i]++
-				degree[j]++
-				g.edgeCount++
-			}
-		}
-	}
-	// Flatten into CSR: edges were found in (i, j) ascending order, so
-	// filling each node's slot range in edge order keeps lists sorted.
 	g.adjFlat = make([]NodeID, 2*len(edges))
 	g.adj = make([][]NodeID, len(positions))
 	off := 0
@@ -101,11 +295,41 @@ func NewGraph(name string, positions []Point, radioRange float64) (*Graph, error
 		g.adj[e.b] = append(g.adj[e.b], e.a)
 	}
 	for i := range g.adj {
-		if !sort.SliceIsSorted(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] }) {
-			sort.Slice(g.adj[i], func(a, b int) bool { return g.adj[i][a] < g.adj[i][b] })
+		if !slices.IsSorted(g.adj[i]) {
+			slices.Sort(g.adj[i])
 		}
 	}
-	return g, nil
+	return g
+}
+
+// edgesConnected reports whether the edge set spans all n nodes as a
+// single component, via union-find with path halving. RandomGeometric uses
+// it to reject disconnected layouts from the raw edge scan, before paying
+// for CSR assembly.
+func edgesConnected(n int, edges []edge) bool {
+	if n == 0 {
+		return false
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := n
+	for _, e := range edges {
+		ra, rb := find(int32(e.a)), find(int32(e.b))
+		if ra != rb {
+			parent[ra] = rb
+			comps--
+		}
+	}
+	return comps == 1
 }
 
 // Name returns the human-readable topology name (e.g. "grid-11x11").

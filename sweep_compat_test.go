@@ -51,10 +51,17 @@ func TestSweepBackwardCompatible(t *testing.T) {
 }
 
 // TestSweepDeterministicAcrossWorkersAndCacheWarmth proves the topology
-// cache and per-worker arenas never leak into results: the same spec
-// yields byte-identical rows at 1, 4 and 8 workers (different arena
-// reuse patterns), and with a cold vs warm process-wide topology cache.
+// cache, per-worker arenas and intra-cell repeat splitting never leak
+// into results: the same spec yields rows byte-identical to the
+// pre-arena golden at 1, 2, 4 and 8 workers (different arena reuse and
+// repeat-partition patterns), and with a cold vs warm process-wide
+// topology cache. Pinning every worker count to the golden — not just
+// to each other — rules out a deterministic-but-wrong reduction.
 func TestSweepDeterministicAcrossWorkersAndCacheWarmth(t *testing.T) {
+	want, err := os.ReadFile("testdata/sweep_compat.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
 	render := func(workers int) []byte {
 		var buf bytes.Buffer
 		sink := campaign.NewJSONL(&buf)
@@ -72,9 +79,12 @@ func TestSweepDeterministicAcrossWorkersAndCacheWarmth(t *testing.T) {
 	if !bytes.Equal(cold, warm) {
 		t.Errorf("cache-cold vs cache-warm output differs:\n%s\nvs\n%s", cold, warm)
 	}
-	for _, workers := range []int{4, 8} {
-		if got := render(workers); !bytes.Equal(cold, got) {
-			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, cold, got)
+	if !bytes.Equal(cold, want) {
+		t.Errorf("workers=1 output diverged from the golden:\n--- got ---\n%s\n--- want ---\n%s", cold, want)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); !bytes.Equal(want, got) {
+			t.Errorf("workers=%d output diverged from the golden:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
 		}
 	}
 }
