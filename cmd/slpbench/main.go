@@ -28,7 +28,7 @@
 //
 // Usage:
 //
-//	slpbench [-out BENCH_6.json] [-check BENCH_6.json] [-quiet]
+//	slpbench [-out BENCH_7.json] [-check BENCH_7.json] [-quiet]
 package main
 
 import (
@@ -45,6 +45,7 @@ import (
 	"slpdas/internal/campaign"
 	"slpdas/internal/core"
 	"slpdas/internal/des"
+	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/topo"
 )
@@ -87,7 +88,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_6.json", "output JSON file (empty = stdout)")
+	out := fs.String("out", "BENCH_7.json", "output JSON file (empty = stdout)")
 	check := fs.String("check", "", "baseline JSON to compare against; allocs/op regressions in zero-alloc suites fail the run")
 	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -250,6 +251,7 @@ func suite() []benchmark {
 		{"core/setup-reset-11", benchSetupReset},
 		{"core/single-run-11", benchSingleRun(11)},
 		{"core/single-run-21", benchSingleRun(21)},
+		{"protocol/dispatch", benchProtocolDispatch},
 		{"campaign/cell-5x5", benchCampaignCell},
 		{"campaign/sweep-11x11-x100", benchRepeatHeavySweep},
 		{"topo/build-rgg-100k", benchBuildRGG(100_000)},
@@ -399,6 +401,44 @@ func benchSingleRun(side int) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// benchProtocolDispatch measures the protocol-registry indirection the
+// run hot path pays per Reset: name resolution through ByName (alias
+// included) plus the static shape queries the network consults. The
+// baseline holds this at 0 allocs/op — the registry must stay a map
+// lookup away from the hardwired bool it replaced.
+func benchProtocolDispatch(b *testing.B) {
+	names := [...]string{
+		protocol.NameProtectionless,
+		protocol.NameSLPDAS,
+		protocol.AliasSLP,
+		protocol.NamePhantom,
+		protocol.NameFakeSource,
+		protocol.NameTier,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		fam, err := protocol.ByName(names[i%len(names)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += len(fam.Name()) + len(fam.Label())
+		if fam.SearchPhase() {
+			sink++
+		}
+		if fam.TDMAData() {
+			sink++
+		}
+		if fam.UsesSearchDistance() {
+			sink++
+		}
+	}
+	if sink == 0 {
+		b.Fatal("dispatch loop optimised away")
 	}
 }
 

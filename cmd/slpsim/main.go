@@ -8,10 +8,11 @@
 //	slpsim fig5b    [-repeats N] [-seed S] [-sizes 11,15,21] [-csv out.csv]
 //	slpsim table1
 //	slpsim overhead [-size N] [-sd D] [-repeats N] [-seed S]
-//	slpsim run      [-size N] [-protocol protectionless|slp] [-sd D]
+//	slpsim run      [-size N] [-protocol NAME] [-sd D]
 //	                [-repeats N] [-seed S] [-loss ideal|bernoulli:p|rssi]
 //	                [-attacker R,H,M] [-strategy NAME] [-nattackers K]
 //	                [-shared-history] [-collisions]
+//	slpsim protocols
 //	slpsim strategies
 package main
 
@@ -53,6 +54,12 @@ func run(args []string) int {
 		err = runCustom(args[1:])
 	case "sweep":
 		err = runSweep(args[1:])
+	case "protocols":
+		fmt.Println("registered protocols:")
+		fmt.Println()
+		for _, p := range slpdas.Protocols() {
+			fmt.Printf("  %-16s %s\n", p.Name, p.Summary)
+		}
 	case "strategies":
 		fmt.Println("registered attacker strategies:")
 		fmt.Println()
@@ -83,6 +90,7 @@ commands:
   overhead  message overhead of SLP DAS vs protectionless DAS
   run       custom simulation batch
   sweep     ablations: -what sd | attacker | strategy | loss
+  protocols   list the registered routing protocols
   strategies  list the registered attacker strategies
 
 run 'slpsim <command> -h' for the command's flags.`)
@@ -220,8 +228,8 @@ func runSweep(args []string) error {
 func runCustom(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	size := fs.Int("size", 11, "grid size")
-	protocol := fs.String("protocol", "protectionless", "protectionless or slp")
-	sd := fs.Int("sd", 3, "search distance (slp only)")
+	protocol := fs.String("protocol", "protectionless", "routing protocol (see 'slpsim protocols')")
+	sd := fs.Int("sd", 3, "search distance (slp-das search / phantom walk length)")
 	repeats := fs.Int("repeats", 20, "simulation repetitions")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	loss := fs.String("loss", "ideal", "channel model: ideal, bernoulli:<p>, rssi")
@@ -239,7 +247,7 @@ func runCustom(args []string) error {
 	}
 	cfg := slpdas.SimConfig{
 		GridSize:       *size,
-		Protocol:       slpdas.Protocol(map[string]slpdas.Protocol{"protectionless": slpdas.Protectionless, "slp": slpdas.SLPAware}[*protocol]),
+		Protocol:       slpdas.Protocol(*protocol),
 		SearchDistance: *sd,
 		Repeats:        *repeats,
 		Seed:           *seed,
@@ -251,9 +259,6 @@ func runCustom(args []string) error {
 		SharedHistory:  *sharedHistory,
 		LossModel:      *loss,
 		Collisions:     *collisions,
-	}
-	if cfg.Protocol == "" {
-		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 	sum, err := slpdas.Run(cfg)
 	if err != nil {
@@ -279,7 +284,7 @@ func runCustom(args []string) error {
 	}
 	fmt.Printf("  valid schedules   : %.0f%%\n", sum.ScheduleValidRatio*100)
 	fmt.Printf("  control traffic   : %.1f msgs (%.0f bytes) per run\n", sum.ControlMessages, sum.ControlBytes)
-	if cfg.Protocol == slpdas.SLPAware {
+	if cfg.Protocol == slpdas.SLPAware || cfg.Protocol == slpdas.SLPDAS {
 		fmt.Printf("  slots changed     : %.1f nodes per run\n", sum.ChangedNodes)
 	}
 	return nil

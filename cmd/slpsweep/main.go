@@ -23,7 +23,7 @@
 // Usage:
 //
 //	slpsweep [-sizes 7,11] [-topologies grid|line:<n>|ring:<n>|rgg:<n>#<seed>,...]
-//	         [-protocols protectionless,slp] [-sd 1,3]
+//	         [-protocols protectionless,slp-das,phantom,fake-source,tier] [-sd 1,3]
 //	         [-attackers R,H,M[;R,H,M...]] [-strategies first-heard,cautious,...]
 //	         [-nattackers 1,2,3] [-shared-history false,true]
 //	         [-loss ideal,bernoulli:<p>,rssi]
@@ -53,7 +53,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("slpsweep", flag.ContinueOnError)
 	sizesArg := fs.String("sizes", "11", "comma-separated grid sides for the topology axis")
 	topoArg := fs.String("topologies", "", "explicit topology axis overriding -sizes: grid, line:<n>, ring:<n>, rgg:<n>#<seed> (comma-separated; plain \"grid\" expands -sizes)")
-	protoArg := fs.String("protocols", "protectionless,slp", "comma-separated protocol axis")
+	protoArg := fs.String("protocols", "protectionless,slp",
+		"comma-separated protocol axis: "+strings.Join(campaign.ProtocolNames(), ", ")+" (plus the \"slp\" alias)")
 	sdArg := fs.String("sd", "3", "comma-separated search distances")
 	atkArg := fs.String("attackers", "1,0,1", "semicolon-separated attacker R,H,M tuples")
 	stratArg := fs.String("strategies", attacker.DefaultStrategy,

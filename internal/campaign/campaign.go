@@ -32,15 +32,24 @@ import (
 	"slpdas/internal/attacker"
 	"slpdas/internal/core"
 	"slpdas/internal/experiment"
+	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/topo"
 )
 
-// Protocol names accepted on the Protocols axis.
+// Historical names for the paper's pair on the Protocols axis. The axis
+// accepts any protocol registry name (see protocol.Protocols); these two
+// resolve through the registry like the rest — SLPAware is the registry
+// alias for protocol.NameSLPDAS, kept so pre-registry campaign files stay
+// resumable.
 const (
-	Protectionless = "protectionless"
-	SLPAware       = "slp"
+	Protectionless = protocol.NameProtectionless
+	SLPAware       = protocol.AliasSLP
 )
+
+// ProtocolNames lists the canonical registry names accepted on the
+// Protocols axis, sorted (the SLPAware alias also resolves).
+func ProtocolNames() []string { return protocol.Names() }
 
 // Spec declares a campaign: every non-empty axis slice multiplies the job
 // matrix. Zero values select the paper's defaults (11×11 grid, both
@@ -268,15 +277,19 @@ type AttackerSetup struct {
 // distance, attacker setup, loss model, collisions — onto a validated
 // core.Config. It is the single protocol-name switch shared by the
 // campaign engine and the slpdas facade.
-func BuildConfig(protocol string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool) (core.Config, error) {
-	var cfg core.Config
-	switch protocol {
-	case Protectionless:
-		cfg = core.Default()
-	case SLPAware:
-		cfg = core.DefaultSLP(searchDistance)
-	default:
-		return core.Config{}, fmt.Errorf("campaign: unknown protocol %q", protocol)
+func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool) (core.Config, error) {
+	fam, err := protocol.ByName(protoName)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("campaign: %w", err)
+	}
+	cfg := core.Default()
+	cfg.Protocol = fam.Name()
+	cfg.SLP = fam.Name() == protocol.NameSLPDAS
+	// The SD coordinate only lands in the config for families it
+	// parameterises; others keep the Table I default, exactly as the
+	// pre-registry switch left protectionless untouched.
+	if fam.UsesSearchDistance() {
+		cfg.SearchDistance = searchDistance
 	}
 	cfg.Attacker = atk.Params
 	cfg.Strategy = atk.Strategy
@@ -306,8 +319,8 @@ func (s Spec) Expand() ([]Cell, error) {
 	var cells []Cell
 	for _, top := range s.topologyAxis() {
 		for _, proto := range s.Protocols {
-			if proto != Protectionless && proto != SLPAware {
-				return nil, fmt.Errorf("campaign: unknown protocol %q", proto)
+			if _, err := protocol.ByName(proto); err != nil {
+				return nil, fmt.Errorf("campaign: %w", err)
 			}
 			for _, sd := range s.SearchDistances {
 				for _, atk := range s.Attackers {

@@ -12,6 +12,7 @@ import (
 
 	"slpdas/internal/attacker"
 	"slpdas/internal/mac"
+	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 )
 
@@ -38,13 +39,22 @@ type Config struct {
 	// node sends per state change: 5.
 	DisseminationTimeout int
 	// SearchDistance (SD) is how many hops SEARCH messages travel from the
-	// sink: 3 or 5 in the paper. Only used when SLP is true.
+	// sink: 3 or 5 in the paper. Only consulted by families for which
+	// Protocol.UsesSearchDistance is true (slp-das, phantom).
 	SearchDistance int
 	// ChangeLength (CL) is the length of the decoy change path; 0 means
 	// the Table I default Δss − SD, computed from the topology.
 	ChangeLength int
+	// Protocol selects the routing family by registry name (see
+	// protocol.Protocols); it takes precedence over SLP. Empty falls
+	// through to the SLP bool.
+	Protocol string
 	// SLP selects the SLP-aware protocol (Phases 2 and 3) over
 	// protectionless DAS.
+	//
+	// Deprecated: the bool is the pre-registry alias for choosing between
+	// protocol.NameSLPDAS and protocol.NameProtectionless; set Protocol
+	// instead. Ignored when Protocol is non-empty.
 	SLP bool
 	// SafetyFactor (Cs) scales the protectionless capture time into the
 	// safety period: 1.5.
@@ -159,8 +169,12 @@ func (c Config) Validate() error {
 	if c.DisseminationTimeout < 1 {
 		return fmt.Errorf("core: DT must be >= 1, got %d", c.DisseminationTimeout)
 	}
-	if c.SLP && c.SearchDistance < 1 {
-		return fmt.Errorf("core: SLP needs SearchDistance >= 1, got %d", c.SearchDistance)
+	fam, err := c.ProtocolFamily()
+	if err != nil {
+		return err
+	}
+	if fam.UsesSearchDistance() && c.SearchDistance < 1 {
+		return fmt.Errorf("core: protocol %q needs SearchDistance >= 1, got %d", fam.Name(), c.SearchDistance)
 	}
 	if c.SafetyFactor <= 0 {
 		return fmt.Errorf("core: safety factor must be positive, got %v", c.SafetyFactor)
@@ -183,6 +197,36 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: path cap must be >= %d (off), got %d", PathRecordingOff, c.PathCap)
 	}
 	return nil
+}
+
+// ProtocolName returns the registry name of the configured routing
+// family: the Protocol field when set (canonicalised through the registry,
+// so the "slp" alias reports "slp-das"), else the family the deprecated
+// SLP bool aliases.
+func (c Config) ProtocolName() string {
+	if c.Protocol != "" {
+		if fam, err := protocol.ByName(c.Protocol); err == nil {
+			return fam.Name()
+		}
+		return c.Protocol
+	}
+	if c.SLP {
+		return protocol.NameSLPDAS
+	}
+	return protocol.NameProtectionless
+}
+
+// ProtocolFamily resolves the configured routing family through the
+// registry.
+func (c Config) ProtocolFamily() (protocol.Protocol, error) {
+	return protocol.ByName(c.ProtocolName())
+}
+
+// HasSearchPhase reports whether the configured family runs the SLP
+// search phase (Phase 2) during setup.
+func (c Config) HasSearchPhase() bool {
+	fam, err := c.ProtocolFamily()
+	return err == nil && fam.SearchPhase()
 }
 
 // Attackers returns the effective eavesdropper count (0 means 1).

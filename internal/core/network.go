@@ -9,6 +9,7 @@ import (
 	"slpdas/internal/des"
 	"slpdas/internal/gcn"
 	"slpdas/internal/mac"
+	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/schedule"
 	"slpdas/internal/topo"
@@ -58,6 +59,17 @@ type Network struct {
 	deadline  time.Duration
 	delta     float64 // safety period in TDMA periods
 
+	// Routing family plumbing: env is the immutable world handed to family
+	// instances, fam/proto are the active family and its per-network
+	// instance, and protoCache keeps one instance per family so arena
+	// callers switching families between runs reuse state (instances must
+	// make Reset equivalent to fresh construction, like everything else on
+	// the arena path).
+	env        protocol.Env
+	fam        protocol.Protocol
+	proto      protocol.Instance
+	protoCache map[string]protocol.Instance
+
 	msgStats     [msgStatsSlots]MsgStats
 	decodeErrors uint64
 	changedNodes int
@@ -105,8 +117,9 @@ func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64
 	if sink == source {
 		return nil, fmt.Errorf("core: sink and source must differ")
 	}
+	sinkDist := g.BFSFrom(sink)
 	deltaSS, sinkEcc := -1, 0
-	for id, d := range g.BFSFrom(sink) {
+	for id, d := range sinkDist {
 		if topo.NodeID(id) == source {
 			deltaSS = d
 		}
@@ -129,7 +142,14 @@ func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64
 		engine:  gcn.NewEngine(sim, 0),
 		deltaSS: deltaSS,
 		sinkEcc: sinkEcc,
-		failAt:  make(map[topo.NodeID]time.Duration),
+		env: protocol.Env{
+			Graph:    g,
+			Sink:     sink,
+			Source:   source,
+			SinkDist: sinkDist,
+		},
+		protoCache: make(map[string]protocol.Instance),
+		failAt:     make(map[topo.NodeID]time.Duration),
 	}
 	net.periodTick = periodTick{n: net}
 
@@ -173,9 +193,14 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	fam, err := cfg.ProtocolFamily()
+	if err != nil {
+		return err
+	}
 
 	n.cfg = cfg
 	n.seed = seed
+	n.fam = fam
 
 	budget := cfg.EventBudget
 	if budget == 0 {
@@ -191,6 +216,23 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 	n.delta = cfg.SafetyFactor * float64(n.deltaSS+1)
 	n.dataStart = time.Duration(cfg.MinimumSetupPeriods) * n.timing.PeriodDuration()
 	n.deadline = n.dataStart + time.Duration(n.delta*float64(n.timing.PeriodDuration()))
+
+	// Rewind the family instance alongside everything else on the arena
+	// path. Instances are cached per family so switching families between
+	// runs on one Network reuses (and must fully rewind) state.
+	inst, ok := n.protoCache[fam.Name()]
+	if !ok {
+		inst = fam.New()
+		n.protoCache[fam.Name()] = inst
+	}
+	inst.Reset(&n.env, protocol.Params{
+		SearchDistance: cfg.SearchDistance,
+		DataStart:      n.dataStart,
+		SlotDuration:   cfg.SlotPeriod,
+		Period:         n.timing.PeriodDuration(),
+		Periods:        int(math.Ceil(n.delta)) + 2,
+	}, seed)
+	n.proto = inst
 
 	for _, nd := range n.nodes {
 		nd.reset(seed)
@@ -290,7 +332,15 @@ func (n *Network) broadcast(from topo.NodeID, msg wire.Message) {
 func (n *Network) recordSourceDelivery(seq uint32) {
 	n.sourceDeliveries++
 	n.lastDeliveredSeq = seq
-	lat := n.nodes[n.sink].dataPeriod - int(seq)
+	// Latency in periods: sequence numbers are period indices, so arrival
+	// period minus origination period. Under TDMA the sink's slot task
+	// stamps the arrival period; event-driven families never arm it, so
+	// derive the period from the clock instead.
+	period := n.nodes[n.sink].dataPeriod
+	if !n.fam.TDMAData() {
+		period = int((n.sim.Now() - n.dataStart) / n.timing.PeriodDuration())
+	}
+	lat := period - int(seq)
 	if lat >= 0 {
 		n.deliveryLatencies = append(n.deliveryLatencies, lat)
 	}
@@ -322,8 +372,8 @@ func (n *Network) setup() error {
 		return err
 	}
 
-	// Phase 2 launch (SLP only).
-	if cfg.SLP {
+	// Phase 2 launch (families with a search phase only).
+	if n.fam.SearchPhase() {
 		searchAt := dissemStart + n.searchStartDelay()
 		if _, err := n.sim.Schedule(searchAt, sinkNode.startSearch); err != nil {
 			return err
@@ -356,9 +406,13 @@ func (n *Network) searchStartDelay() time.Duration {
 // startDataPhase arms the TDMA slot tasks, the attacker clock and the
 // capture stop condition.
 func (n *Network) startDataPhase() error {
-	for _, task := range n.tasks {
-		if err := task.Start(n.timing, n.dataStart); err != nil {
-			return err
+	// Pure-TDMA families arm every node's slot task; event-driven families
+	// leave them unarmed and drive all DATA traffic through StartData.
+	if n.fam.TDMAData() {
+		for _, task := range n.tasks {
+			if err := task.Start(n.timing, n.dataStart); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -383,7 +437,33 @@ func (n *Network) startDataPhase() error {
 			return err
 		}
 	}
-	return nil
+	// Family-driven traffic (a no-op for the pure-TDMA paper pair, so the
+	// registry path replays the pre-registry event order exactly).
+	return n.proto.StartData(n)
+}
+
+// --- protocol.Host ---
+
+// Now implements protocol.Host: the simulation clock.
+func (n *Network) Now() time.Duration { return n.sim.Now() }
+
+// Schedule implements protocol.Host: run fn at the absolute time at.
+func (n *Network) Schedule(at time.Duration, fn func()) error {
+	_, err := n.sim.Schedule(at, fn)
+	return err
+}
+
+// SendData implements protocol.Host: broadcast one DATA frame from the
+// given node through the network's frame-accounted send path, so family
+// traffic shows up in message stats and attacker observations exactly
+// like node traffic.
+func (n *Network) SendData(from, origin topo.NodeID, seq uint32, count uint16) {
+	d := &n.outData
+	d.From = from
+	d.Origin = origin
+	d.Seq = seq
+	d.Count = count
+	n.broadcast(from, d)
 }
 
 // RunSetup executes only the setup phases (discovery, dissemination and —
@@ -474,7 +554,7 @@ func (n *Network) Run() (*Result, error) {
 
 func (n *Network) collect() *Result {
 	res := &Result{
-		Protocol:     protocolName(n.cfg.SLP),
+		Protocol:     n.fam.Label(),
 		Seed:         n.seed,
 		Nodes:        n.g.Len(),
 		DeltaSS:      n.deltaSS,
@@ -534,11 +614,4 @@ func (n *Network) collect() *Result {
 	res.CollisionViolations = len(schedule.CheckNonColliding(g, a))
 	res.RangeViolations = len(schedule.CheckSlotRange(g, a, n.cfg.Slots))
 	return res
-}
-
-func protocolName(slp bool) string {
-	if slp {
-		return "slp-das"
-	}
-	return "protectionless-das"
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"slpdas/internal/protocol"
+	"slpdas/internal/topo"
+)
+
+// familyConfig builds a small-grid config for one registry family.
+func familyConfig(name string) Config {
+	cfg := Default()
+	cfg.Protocol = name
+	cfg.SearchDistance = 2
+	return cfg
+}
+
+// TestEveryFamilyDeterministic pins per-family determinism: for every
+// registered protocol, the same (config, seed) produces a deeply equal
+// Result across independent networks. Run under -race this also shakes
+// out unsynchronised shared state inside family instances.
+func TestEveryFamilyDeterministic(t *testing.T) {
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, source := topo.GridCentre(5), topo.GridTopLeft()
+	for _, name := range protocol.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := familyConfig(name)
+			a := freshResult(t, g, sink, source, cfg, 42)
+			b := freshResult(t, g, sink, source, cfg, 42)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same (cfg, seed) diverged:\nfirst: %+v\nsecond: %+v", a, b)
+			}
+			fam, err := protocol.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Protocol != fam.Label() {
+				t.Errorf("Result.Protocol = %q, want label %q", a.Protocol, fam.Label())
+			}
+			if a.SourceDeliveries == 0 {
+				t.Errorf("%s delivered no source messages", name)
+			}
+		})
+	}
+}
+
+// TestResetAcrossFamilies extends the arena no-drift audit to the protocol
+// axis: one network cycled through every registered family via Reset must
+// match fresh per-family networks, including a replay of the first family
+// after the others dirtied per-family instance state.
+func TestResetAcrossFamilies(t *testing.T) {
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, source := topo.GridCentre(5), topo.GridTopLeft()
+
+	names := protocol.Names()
+	sequence := append(append([]string{}, names...), names[0]) // replay the first
+	first := familyConfig(sequence[0])
+
+	net, err := NewNetwork(g, sink, source, first, 7)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	var arena []*Result
+	for i, name := range sequence {
+		if i > 0 {
+			if err := net.Reset(familyConfig(name), 7); err != nil {
+				t.Fatalf("Reset(%s): %v", name, err)
+			}
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		arena = append(arena, res)
+	}
+	for i, name := range sequence {
+		fresh := freshResult(t, g, sink, source, familyConfig(name), 7)
+		if !reflect.DeepEqual(arena[i], fresh) {
+			t.Errorf("%s (step %d): arena result diverges from fresh network:\narena: %+v\nfresh: %+v",
+				name, i, arena[i], fresh)
+		}
+	}
+	if !reflect.DeepEqual(arena[0], arena[len(arena)-1]) {
+		t.Errorf("replaying %s after cycling every family diverged:\nfirst: %+v\nagain: %+v",
+			sequence[0], arena[0], arena[len(arena)-1])
+	}
+}
+
+// TestProtocolFieldAliasesBool pins the compatibility contract: the
+// deprecated SLP bool and the Protocol string select the same families,
+// and the string wins when both are set.
+func TestProtocolFieldAliasesBool(t *testing.T) {
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, source := topo.GridCentre(5), topo.GridTopLeft()
+
+	viaBool := DefaultSLP(2)
+	viaString := Default()
+	viaString.Protocol = protocol.NameSLPDAS
+	viaString.SearchDistance = 2
+	viaAlias := viaString
+	viaAlias.Protocol = protocol.AliasSLP
+	viaAlias.SLP = false // the string takes precedence regardless
+
+	want := freshResult(t, g, sink, source, viaBool, 5)
+	for name, cfg := range map[string]Config{"string": viaString, "alias": viaAlias} {
+		got := freshResult(t, g, sink, source, cfg, 5)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s config diverged from the SLP bool path:\ngot: %+v\nwant: %+v", name, got, want)
+		}
+	}
+
+	if got := (Config{Protocol: "phantom", SLP: true}).ProtocolName(); got != protocol.NamePhantom {
+		t.Errorf("Protocol string should beat the SLP bool, got %q", got)
+	}
+	if got := (Config{SLP: true}).ProtocolName(); got != protocol.NameSLPDAS {
+		t.Errorf("SLP bool alias broken, got %q", got)
+	}
+	if got := (Config{}).ProtocolName(); got != protocol.NameProtectionless {
+		t.Errorf("zero config should be protectionless, got %q", got)
+	}
+}
+
+// TestUnknownProtocolRejected mirrors the attacker-strategy check: a
+// config naming an unregistered family fails validation and NewNetwork.
+func TestUnknownProtocolRejected(t *testing.T) {
+	cfg := Default()
+	cfg.Protocol = "bogus-routing"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown protocol")
+	}
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNetwork(g, topo.GridCentre(5), topo.GridTopLeft(), cfg, 1); err == nil {
+		t.Fatal("NewNetwork accepted an unknown protocol")
+	}
+}

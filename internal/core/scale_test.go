@@ -103,14 +103,3 @@ func TestHundredThousandNodeRunCompletes(t *testing.T) {
 		t.Errorf("captured in %d moves, below the %d-hop floor", res.AttackerMoves[0], res.DeltaSS)
 	}
 }
-
-// nearestTo returns the node closest to p.
-func nearestTo(g *topo.Graph, p topo.Point) topo.NodeID {
-	best, bestD := topo.NodeID(0), math.Inf(1)
-	for id := topo.NodeID(0); int(id) < g.Len(); id++ {
-		if d := g.Position(id).DistanceTo(p); d < bestD {
-			best, bestD = id, d
-		}
-	}
-	return best
-}

@@ -176,7 +176,7 @@ func (a *Accumulator) Add(r *core.Result) {
 	if r.ScheduleValid() {
 		a.agg.ScheduleValid.Successes++
 	}
-	if a.spec.Config.SLP {
+	if a.spec.Config.HasSearchPhase() {
 		a.agg.SearchSucceeded.Trials++
 		if r.ChangedNodes > 0 {
 			a.agg.SearchSucceeded.Successes++
@@ -319,11 +319,19 @@ func aggregate(spec Spec, g *topo.Graph, results []*core.Result) *Aggregate {
 	return acc.Finalize()
 }
 
+// protocolLabel names the configured routing family for aggregates,
+// resolving through the protocol registry so added families label
+// themselves. Families parameterised by SearchDistance carry it as a
+// suffix (e.g. "slp-das-sd3"), matching the pre-registry labels.
 func protocolLabel(c core.Config) string {
-	if c.SLP {
-		return fmt.Sprintf("slp-das-sd%d", c.SearchDistance)
+	fam, err := c.ProtocolFamily()
+	if err != nil {
+		return c.ProtocolName()
 	}
-	return "protectionless-das"
+	if fam.UsesSearchDistance() {
+		return fmt.Sprintf("%s-sd%d", fam.Label(), c.SearchDistance)
+	}
+	return fam.Label()
 }
 
 // MessageTypes returns the types present, sorted, for stable rendering.

@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"time"
+
+	"slpdas/internal/topo"
+)
+
+// Tunables of the fake-source family, per the backbone-scheduling
+// exemplar (SNIPPETS.md Snippet 1): a node d hops down the backbone stays
+// an active fake source while fakeAlpha^d >= fakeCaptureThreshold — the
+// estimated probability that luring the attacker to depth d still risks
+// capture. With alpha 0.5 and threshold 1e-4 the backbone carries at most
+// 13 active fake sources.
+const (
+	fakeAlpha            = 0.5
+	fakeCaptureThreshold = 1e-4
+)
+
+// fakeSourceProtocol is fake-source routing: the real traffic is the
+// unmodified TDMA convergecast, but a backbone of nodes leading *away*
+// from the real source broadcasts decoy DATA at the start of every
+// period — before any real slot fires — so a traffic-tracing attacker at
+// the sink hears the backbone first and is drawn outward along it,
+// period by period, away from the source.
+type fakeSourceProtocol struct{}
+
+func (fakeSourceProtocol) Name() string { return NameFakeSource }
+func (fakeSourceProtocol) Summary() string {
+	return "TDMA convergecast plus a decoy backbone away from the source broadcasting fake DATA each period"
+}
+func (fakeSourceProtocol) Label() string            { return "fake-source" }
+func (fakeSourceProtocol) UsesSearchDistance() bool { return false }
+func (fakeSourceProtocol) SearchPhase() bool        { return false }
+func (fakeSourceProtocol) TDMAData() bool           { return true }
+func (fakeSourceProtocol) New() Instance            { return &fakeSourceInstance{} }
+
+type fakeSourceInstance struct {
+	env *Env
+	p   Params
+	// backbone holds the active fake sources, sink-adjacent first. It is a
+	// pure function of the topology, so it is computed once per network
+	// and shared across runs without risking fresh-vs-reset drift.
+	backbone []topo.NodeID
+}
+
+// Reset implements Instance. The family is deterministic given the
+// topology — backbone construction and scheduling use no randomness — so
+// reset only rebinds the run parameters.
+func (fi *fakeSourceInstance) Reset(env *Env, p Params, _ uint64) {
+	if fi.env != env {
+		fi.env = env
+		fi.backbone = buildBackbone(env)
+	}
+	fi.p = p
+}
+
+// buildBackbone walks greedily from the sink towards the node farthest
+// from the real source (the anti-source), keeping the nodes whose depth d
+// satisfies alpha^d >= the capture threshold. Ties break towards the
+// lowest node ID via the sorted neighbour order, so the backbone is
+// deterministic.
+func buildBackbone(env *Env) []topo.NodeID {
+	g, srcDist := env.Graph, env.SourceDist()
+	maxDepth := 0
+	for p := fakeAlpha; p >= fakeCaptureThreshold; p *= fakeAlpha {
+		maxDepth++
+	}
+	var backbone []topo.NodeID
+	cur := env.Sink
+	for d := 1; d <= maxDepth; d++ {
+		next := topo.None
+		for _, m := range g.Neighbors(cur) {
+			if m == env.Source {
+				continue
+			}
+			if next == topo.None || srcDist[m] > srcDist[next] {
+				next = m
+			}
+		}
+		// Stop at a local maximum: stepping back towards the source would
+		// lure the attacker the wrong way.
+		if next == topo.None || srcDist[next] <= srcDist[cur] {
+			break
+		}
+		cur = next
+		backbone = append(backbone, cur)
+	}
+	return backbone
+}
+
+// StartData implements Instance: every period, each backbone node
+// broadcasts one fake DATA frame within the first slot, deepest node
+// first — the attacker, wherever it stands on the backbone, hears its
+// outward neighbour before its inward one, and before any real traffic.
+// The decoys carry their own node as wire origin, so the sink never
+// mistakes them for source deliveries.
+func (fi *fakeSourceInstance) StartData(h Host) error {
+	n := len(fi.backbone)
+	if n == 0 {
+		return nil
+	}
+	for k := 0; k < fi.p.Periods; k++ {
+		seq := uint32(k)
+		start := fi.p.DataStart + time.Duration(k)*fi.p.Period
+		for idx, f := range fi.backbone {
+			f := f
+			// Offsets strictly inside slot 0, ordered deepest-first.
+			at := start + fi.p.SlotDuration*time.Duration(n-idx)/time.Duration(n+1)
+			if err := h.Schedule(at, func() {
+				h.SendData(f, f, seq, 1)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func init() { Register(fakeSourceProtocol{}) }

@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"slpdas/internal/topo"
+	"slpdas/internal/xrand"
+)
+
+// phantomProtocol is sector phantom routing (PSSPR, see PAPERS.md): every
+// source message first random-walks SearchDistance hops *away* from the
+// sink inside a per-message directed sector, reaching a phantom source,
+// and only then follows the shortest path to the sink. An eavesdropper
+// back-tracing the traffic converges on the phantom sources — scattered
+// around the real source at walk-length radius — rather than the source
+// itself.
+//
+// The data phase is event-driven: the TDMA schedule is still built (all
+// families share the control plane) but slot tasks stay unarmed; the only
+// DATA traffic is the per-period route broadcasts, spaced one slot apart
+// hop by hop.
+type phantomProtocol struct{}
+
+func (phantomProtocol) Name() string { return NamePhantom }
+func (phantomProtocol) Summary() string {
+	return "sector phantom routing (PSSPR): directed random walk to a phantom source, then shortest path"
+}
+func (phantomProtocol) Label() string            { return "phantom" }
+func (phantomProtocol) UsesSearchDistance() bool { return true }
+func (phantomProtocol) SearchPhase() bool        { return false }
+func (phantomProtocol) TDMAData() bool           { return false }
+func (phantomProtocol) New() Instance            { return &phantomInstance{} }
+
+type phantomInstance struct {
+	env *Env
+	p   Params
+	pcg rand.PCG
+	rng *rand.Rand
+}
+
+// Reset implements Instance: rebind the world and reseed the walk stream.
+func (pi *phantomInstance) Reset(env *Env, p Params, seed uint64) {
+	pi.env = env
+	pi.p = p
+	pi.pcg.Seed(xrand.Seeds(seed, 0x7068616e746f6d))
+	if pi.rng == nil {
+		pi.rng = rand.New(&pi.pcg)
+	}
+}
+
+// StartData implements Instance: one source message per TDMA period.
+func (pi *phantomInstance) StartData(h Host) error {
+	for k := 0; k < pi.p.Periods; k++ {
+		seq := uint32(k)
+		at := pi.p.DataStart + time.Duration(k)*pi.p.Period
+		if err := h.Schedule(at, func() {
+			route := pi.buildRoute()
+			_ = scheduleRoute(h, route, pi.env.Source, seq, pi.p.SlotDuration)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRoute computes one message's transmitter chain: the directed random
+// walk, then the descent to the sink. The sink itself never appears — it
+// receives the final hop's broadcast.
+func (pi *phantomInstance) buildRoute() []topo.NodeID {
+	g, dist := pi.env.Graph, pi.env.SinkDist
+	// The PSSPR sector: a per-message random direction; walk steps prefer
+	// neighbours whose displacement projects positively onto it.
+	theta := pi.rng.Float64() * 2 * math.Pi
+	dx, dy := math.Cos(theta), math.Sin(theta)
+
+	cur, prev := pi.env.Source, topo.None
+	route := make([]topo.NodeID, 0, pi.p.SearchDistance+dist[pi.env.Source])
+	route = append(route, cur)
+	for i := 0; i < pi.p.SearchDistance; i++ {
+		next := pi.walkStep(cur, prev, dx, dy)
+		if next == topo.None {
+			break
+		}
+		prev, cur = cur, next
+		route = append(route, cur)
+	}
+	return descend(route, g, dist, cur)
+}
+
+// walkStep picks the next hop of the directed walk: among neighbours that
+// do not step back towards the sink (hop distance non-decreasing) and are
+// not the previous hop, prefer those inside the message's sector, chosen
+// uniformly; fall back to any non-approaching neighbour, then stall.
+func (pi *phantomInstance) walkStep(cur, prev topo.NodeID, dx, dy float64) topo.NodeID {
+	g, dist := pi.env.Graph, pi.env.SinkDist
+	pos := g.Position(cur)
+	var away, sector []topo.NodeID
+	for _, m := range g.Neighbors(cur) {
+		if m == prev || dist[m] < dist[cur] {
+			continue
+		}
+		away = append(away, m)
+		q := g.Position(m)
+		if (q.X-pos.X)*dx+(q.Y-pos.Y)*dy > 0 {
+			sector = append(sector, m)
+		}
+	}
+	cands := sector
+	if len(cands) == 0 {
+		cands = away
+	}
+	if len(cands) == 0 {
+		return topo.None
+	}
+	return cands[pi.rng.IntN(len(cands))]
+}
+
+func init() { Register(phantomProtocol{}) }

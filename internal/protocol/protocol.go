@@ -1,0 +1,266 @@
+// Package protocol is the named-factory registry of routing families the
+// simulator can evaluate — the protocol-side mirror of the attacker
+// strategy registry. The paper's pair (protectionless GCN-DAS and the
+// 3-phase SLP-aware variant) are registry entries like any other; rival
+// SLP families from the wider literature (sector phantom routing,
+// fake-source backbones, tier-based intermediary routing) register beside
+// them and automatically appear on every axis above: core.Config,
+// experiment labels, the campaign protocol axis, the slpdas facade and the
+// CLIs.
+//
+// A Protocol describes one family statically: its registry name, result
+// label, whether it runs the SLP search phase during setup, whether the
+// data phase is the TDMA convergecast or family-driven event traffic, and
+// whether SearchDistance parameterises it. New mints one Instance per
+// core.Network; the Instance is the per-run state holder, rewound by Reset
+// on the arena path exactly like nodes and attackers — Network.Reset
+// delegates the rewind, so the fresh-vs-reset no-drift invariant extends
+// to protocol state by construction.
+//
+// All families share the same control plane: neighbour discovery,
+// dissemination and DAS slot assignment always run, so every family is
+// compared on identical schedule-quality and control-overhead axes. They
+// differ only in Phase 2 (SearchPhase) and in how DATA traffic flows
+// (TDMAData vs StartData).
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slpdas/internal/topo"
+)
+
+// Canonical registry names, plus the campaign engine's historical alias.
+const (
+	// NameProtectionless is the baseline DAS of Figure 2.
+	NameProtectionless = "protectionless"
+	// NameSLPDAS is the paper's 3-phase SLP-aware DAS of Figures 2-4.
+	NameSLPDAS = "slp-das"
+	// NamePhantom is sector phantom routing (PSSPR): a directed random
+	// walk to a phantom source, then shortest-path routing to the sink.
+	NamePhantom = "phantom"
+	// NameFakeSource is fake-source scheduling: a backbone away from the
+	// real source whose nodes broadcast decoy DATA early in each period.
+	NameFakeSource = "fake-source"
+	// NameTier is tier-based intermediary routing (GAPs-style): each
+	// message detours through a random node of a random sink-distance ring.
+	NameTier = "tier"
+
+	// AliasSLP is the campaign engine's historical name for the SLP-aware
+	// protocol; it resolves to NameSLPDAS and stays valid on every axis so
+	// pre-registry campaign files remain resumable.
+	AliasSLP = "slp"
+
+	// Default is the registry name selected when nothing names a protocol.
+	Default = NameProtectionless
+)
+
+// Host is the slice of core.Network an Instance drives event traffic
+// through: the simulator clock and one frame-accounted DATA broadcast.
+// SendData routes through the network's outgoing wire scratch, so family
+// traffic is counted in message stats and audible to attackers exactly
+// like node traffic.
+type Host interface {
+	// Now returns the simulation clock.
+	Now() time.Duration
+	// Schedule runs fn at the absolute simulation time at.
+	Schedule(at time.Duration, fn func()) error
+	// SendData broadcasts one DATA frame from the given node. Origin is
+	// the wire-level provenance: the sink records a source delivery when
+	// it hears origin == source, so decoy traffic must carry a different
+	// origin.
+	SendData(from, origin topo.NodeID, seq uint32, count uint16)
+}
+
+// Env is the immutable world an Instance routes over: the topology, the
+// endpoints, and the sink's hop gradient (computed once at network wiring).
+// SourceDist is derived lazily and cached — it is a pure function of the
+// topology, so sharing it across runs cannot drift results.
+type Env struct {
+	Graph  *topo.Graph
+	Sink   topo.NodeID
+	Source topo.NodeID
+	// SinkDist is the hop distance from the sink, by node.
+	SinkDist []int
+
+	srcDist []int
+}
+
+// SourceDist returns the hop distance from the source, by node, computing
+// it on first use.
+func (e *Env) SourceDist() []int {
+	if e.srcDist == nil {
+		e.srcDist = e.Graph.BFSFrom(e.Source)
+	}
+	return e.srcDist
+}
+
+// Params carries the per-run coordinates an Instance needs to schedule its
+// data phase.
+type Params struct {
+	// SearchDistance is the SD knob, reused by families that take a
+	// distance parameter (the phantom walk length).
+	SearchDistance int
+	// DataStart is when the data phase begins.
+	DataStart time.Duration
+	// SlotDuration is one TDMA slot; event-driven families space their
+	// hops by it so per-hop airtime matches the convergecast.
+	SlotDuration time.Duration
+	// Period is the TDMA superframe duration; one source message per
+	// period, as in the paper's evaluation.
+	Period time.Duration
+	// Periods is how many data periods the run drives (safety period plus
+	// margin) — the number of source messages an event-driven family emits.
+	Periods int
+}
+
+// Instance is one family's per-network state: Reset rewinds it for a new
+// (config, seed) on the arena path, StartData schedules the family's data
+// phase traffic at the start of the data phase (a no-op for pure-TDMA
+// families).
+type Instance interface {
+	Reset(env *Env, p Params, seed uint64)
+	StartData(h Host) error
+}
+
+// Protocol describes one registered routing family. The boolean shape
+// methods are static family properties consulted on the hot path, so
+// implementations must be allocation-free.
+type Protocol interface {
+	// Name is the registry name (also the campaign axis value).
+	Name() string
+	// Summary is a one-line description for listings.
+	Summary() string
+	// Label names the family in Results and experiment aggregates
+	// (e.g. "protectionless-das"); it may differ from Name for history.
+	Label() string
+	// UsesSearchDistance reports whether SearchDistance parameterises the
+	// family (and so belongs in its experiment label).
+	UsesSearchDistance() bool
+	// SearchPhase reports whether setup schedules the sink's Phase 2
+	// search (NSearch/SRefine of Figures 3-4).
+	SearchPhase() bool
+	// TDMAData reports whether the data phase is the TDMA convergecast
+	// (every node broadcasts in its slot). Families returning false drive
+	// all DATA traffic themselves via StartData.
+	TDMAData() bool
+	// New mints the per-network Instance.
+	New() Instance
+}
+
+// Info describes one registered family for listings and documentation.
+type Info struct {
+	Name    string
+	Summary string
+}
+
+var (
+	registry = map[string]Protocol{}
+	aliases  = map[string]string{}
+)
+
+// Register adds a family to the registry. It panics on a duplicate name:
+// registration happens at init time and a collision is a programming
+// error.
+func Register(p Protocol) {
+	name := p.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("protocol: duplicate protocol %q", name))
+	}
+	if _, dup := aliases[name]; dup {
+		panic(fmt.Sprintf("protocol: protocol %q collides with a registered alias", name))
+	}
+	registry[name] = p
+}
+
+// RegisterAlias makes alias resolve to the registered family named
+// canonical. It panics if the alias collides with an existing name or the
+// canonical family does not exist.
+func RegisterAlias(alias, canonical string) {
+	if _, dup := registry[alias]; dup {
+		panic(fmt.Sprintf("protocol: alias %q collides with a registered protocol", alias))
+	}
+	if _, dup := aliases[alias]; dup {
+		panic(fmt.Sprintf("protocol: duplicate alias %q", alias))
+	}
+	if _, ok := registry[canonical]; !ok {
+		panic(fmt.Sprintf("protocol: alias %q targets unregistered protocol %q", alias, canonical))
+	}
+	aliases[alias] = canonical
+}
+
+// ByName resolves a registry name (or alias) to its family.
+func ByName(name string) (Protocol, error) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Protocols lists every registered family, sorted by name.
+func Protocols() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, Info{Name: p.Name(), Summary: p.Summary()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists the canonical registered names, sorted. Aliases are not
+// listed; they resolve through ByName.
+func Names() []string {
+	infos := Protocols()
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// descend appends to route the shortest-path chain from cur towards the
+// node dist was BFS'd from, excluding both cur and the destination (the
+// destination receives; it does not forward). The next hop is the first
+// strictly-closer neighbour in sorted order, so the chain is deterministic.
+func descend(route []topo.NodeID, g *topo.Graph, dist []int, cur topo.NodeID) []topo.NodeID {
+	for dist[cur] > 1 {
+		next := topo.None
+		for _, m := range g.Neighbors(cur) {
+			if dist[m] == dist[cur]-1 {
+				next = m
+				break
+			}
+		}
+		if next == topo.None {
+			// Unreachable on a connected graph; bail rather than loop.
+			return route
+		}
+		cur = next
+		route = append(route, cur)
+	}
+	return route
+}
+
+// scheduleRoute broadcasts one message along route, one transmitter per
+// slot starting now: route[j] transmits at now + j·slot, carrying the
+// given wire origin. The route slice is captured by the scheduled
+// closures, so callers must hand over a fresh slice per message.
+func scheduleRoute(h Host, route []topo.NodeID, origin topo.NodeID, seq uint32, slot time.Duration) error {
+	now := h.Now()
+	for j, from := range route {
+		from := from
+		hop := uint16(j + 1)
+		if err := h.Schedule(now+time.Duration(j)*slot, func() {
+			h.SendData(from, origin, seq, hop)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

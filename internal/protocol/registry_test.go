@@ -1,0 +1,108 @@
+package protocol
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestByNameKnownFamilies(t *testing.T) {
+	for _, name := range []string{NameProtectionless, NameSLPDAS, NamePhantom, NameFakeSource, NameTier} {
+		fam, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if fam.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, fam.Name())
+		}
+		if fam.Summary() == "" || fam.Label() == "" {
+			t.Errorf("%q: empty summary or label", name)
+		}
+		if fam.New() == nil {
+			t.Errorf("%q: New returned nil", name)
+		}
+	}
+}
+
+func TestByNameResolvesAlias(t *testing.T) {
+	fam, err := ByName(AliasSLP)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", AliasSLP, err)
+	}
+	if fam.Name() != NameSLPDAS {
+		t.Errorf("alias %q resolved to %q, want %q", AliasSLP, fam.Name(), NameSLPDAS)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	for _, name := range []string{"", "bogus", "SLP-DAS"} {
+		fam, err := ByName(name)
+		if err == nil {
+			t.Fatalf("ByName(%q) = %v, want error", name, fam.Name())
+		}
+		// The error must teach: it lists the registered names.
+		if !strings.Contains(err.Error(), NamePhantom) || !strings.Contains(err.Error(), NameProtectionless) {
+			t.Errorf("ByName(%q) error %q does not list known names", name, err)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register of a duplicate name did not panic")
+		}
+	}()
+	Register(dasProtocol{slp: false})
+}
+
+func TestRegisterAliasCollisionPanics(t *testing.T) {
+	cases := map[string]func(){
+		"alias over protocol": func() { RegisterAlias(NamePhantom, NameSLPDAS) },
+		"duplicate alias":     func() { RegisterAlias(AliasSLP, NameProtectionless) },
+		"dangling canonical":  func() { RegisterAlias("fresh-alias", "no-such-protocol") },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProtocolsDeterministicOrder(t *testing.T) {
+	first := Protocols()
+	if !sort.SliceIsSorted(first, func(i, j int) bool { return first[i].Name < first[j].Name }) {
+		t.Errorf("Protocols() not sorted: %v", first)
+	}
+	for i := 0; i < 3; i++ {
+		again := Protocols()
+		if len(again) != len(first) {
+			t.Fatalf("Protocols() length changed: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("Protocols() order changed at %d: %v vs %v", j, again[j], first[j])
+			}
+		}
+	}
+	names := Names()
+	if len(names) != len(first) {
+		t.Fatalf("Names() length %d, want %d", len(names), len(first))
+	}
+	for i, in := range first {
+		if names[i] != in.Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], in.Name)
+		}
+	}
+	// Aliases resolve but are not listed.
+	for _, n := range names {
+		if n == AliasSLP {
+			t.Errorf("alias %q listed in Names()", AliasSLP)
+		}
+	}
+}

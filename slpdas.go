@@ -5,21 +5,35 @@ import (
 	"slpdas/internal/campaign"
 	"slpdas/internal/core"
 	"slpdas/internal/experiment"
+	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/topo"
 	"slpdas/internal/verify"
 )
 
-// Protocol selects which DAS variant to simulate.
+// Protocol selects the routing family to simulate, by registry name (see
+// Protocols for the full list).
 type Protocol string
 
-// Supported protocols; the names are shared with the campaign engine's
-// protocol axis.
+// Registered protocols; the names are shared with the campaign engine's
+// protocol axis and the protocol registry.
 const (
 	// Protectionless is the baseline DAS of Figure 2.
 	Protectionless Protocol = campaign.Protectionless
-	// SLPAware is the 3-phase SLP-aware DAS of Figures 2-4.
+	// SLPAware is the 3-phase SLP-aware DAS of Figures 2-4 ("slp", the
+	// registry alias of SLPDAS).
 	SLPAware Protocol = campaign.SLPAware
+	// SLPDAS is the canonical registry name of the SLP-aware DAS.
+	SLPDAS Protocol = protocol.NameSLPDAS
+	// Phantom is sector phantom routing (PSSPR): a directed random walk to
+	// a phantom source, then shortest-path routing to the sink.
+	Phantom Protocol = protocol.NamePhantom
+	// FakeSource is fake-source scheduling: a decoy backbone away from the
+	// real source broadcasting fake DATA early in each period.
+	FakeSource Protocol = protocol.NameFakeSource
+	// Tier is tier-based intermediary routing: each message detours via a
+	// random node of a random sink-distance tier.
+	Tier Protocol = protocol.NameTier
 )
 
 // SimConfig configures a batch of simulation runs through the facade.
@@ -27,8 +41,8 @@ const (
 // (1,0,1,sink,first-heard) attacker, ideal channel).
 type SimConfig struct {
 	GridSize       int      // grid side; default 11
-	Protocol       Protocol // default Protectionless
-	SearchDistance int      // SD; default 3 (SLP only)
+	Protocol       Protocol // routing family by registry name; default Protectionless
+	SearchDistance int      // SD; default 3 (slp-das search / phantom walk length)
 	Repeats        int      // default 1
 	Seed           uint64   // base seed; run r uses Seed + r
 	AttackerR      int      // default 1
@@ -83,6 +97,23 @@ func (c SimConfig) coreConfig() (core.Config, error) {
 			SharedHistory: c.SharedHistory,
 		},
 		c.LossModel, c.Collisions)
+}
+
+// ProtocolInfo describes one registered routing family.
+type ProtocolInfo struct {
+	Name    string
+	Summary string
+}
+
+// Protocols lists the registered routing families, sorted by name — the
+// values accepted by SimConfig.Protocol and the campaign Protocols axis.
+func Protocols() []ProtocolInfo {
+	infos := protocol.Protocols()
+	out := make([]ProtocolInfo, len(infos))
+	for i, in := range infos {
+		out[i] = ProtocolInfo{Name: in.Name, Summary: in.Summary}
+	}
+	return out
 }
 
 // StrategyInfo describes one registered attacker strategy.
