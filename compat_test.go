@@ -8,7 +8,31 @@ import (
 
 	"slpdas"
 	"slpdas/internal/experiment"
+	"slpdas/internal/lint"
 )
+
+// TestLintCleanBeforeGoldens runs the slplint suite over the module before
+// the golden comparisons below. The goldens catch a determinism break only
+// on the exact configurations they replay; the analyzers prove the
+// underlying invariants — no unsorted map iteration, no unseeded
+// randomness, complete arena Resets — for every configuration at once, so
+// a violation fails fast here with a source location instead of as an
+// inscrutable golden byte diff.
+func TestLintCleanBeforeGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module closure; skipped in -short")
+	}
+	findings, err := lint.Run(lint.Config{Dir: ".", Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("slplint: %s", f)
+	}
+	if t.Failed() {
+		t.Fatal("fix or annotate the findings above before trusting the golden comparisons")
+	}
+}
 
 // renderFig5a serialises a Figure 5 result the way the pre-rebuild
 // `slpsim fig5a` pipeline did: the rendered table followed by every

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"slpdas/internal/topo"
+)
+
+// TestFailureInjectionOrderDeterminism pins the mapiter fix in setup():
+// failure events are scheduled in sorted NodeID order, so the simulator's
+// tie-breaking sequence numbers — and with them the whole run — cannot
+// depend on failAt's map iteration order. The test injects several
+// failures sharing one deadline in different insertion orders and demands
+// byte-identical results.
+func TestFailureInjectionOrderDeterminism(t *testing.T) {
+	g, err := topo.DefaultGrid(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, source := topo.GridCentre(5), topo.GridTopLeft()
+	cfg := Default()
+	const seed = 11
+
+	fail := []topo.NodeID{3, 17, 8, 21}
+	at := 2 * time.Second
+
+	run := func(order []topo.NodeID) *Result {
+		t.Helper()
+		net, err := NewNetwork(g, sink, source, cfg, seed)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		for _, id := range order {
+			net.FailNode(id, at)
+		}
+		res, err := net.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+
+	base := run(fail)
+	reversed := []topo.NodeID{21, 8, 17, 3}
+	for i := 0; i < 3; i++ {
+		if got := run(reversed); !reflect.DeepEqual(base, got) {
+			t.Fatalf("failure injection order changed the run:\nbase: %+v\ngot:  %+v", base, got)
+		}
+	}
+
+	clean := freshResult(t, g, sink, source, cfg, seed)
+	if reflect.DeepEqual(base, clean) {
+		t.Fatal("simultaneous failures had no observable effect; the determinism test is vacuous")
+	}
+}

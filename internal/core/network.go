@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"slpdas/internal/attacker"
@@ -40,21 +41,21 @@ const msgStatsSlots = int(wire.TypeData) + 1
 // the two paths cannot drift apart.
 type Network struct {
 	cfg    Config
-	g      *topo.Graph
-	sink   topo.NodeID
-	source topo.NodeID
+	g      *topo.Graph // lint:immutable: topology wiring, fixed at construction
+	sink   topo.NodeID // lint:immutable: fixed by the topology
+	source topo.NodeID // lint:immutable: fixed by the topology
 	seed   uint64
 
 	sim    *des.Simulator
 	medium *radio.Medium
 	engine *gcn.Engine
-	nodes  []*node
-	tasks  []*mac.SlotTask
+	nodes  []*node         // lint:immutable: slice header fixed; nodes reset individually
+	tasks  []*mac.SlotTask // lint:immutable: slice header fixed; tasks rearmed per run
 	atks   []*attacker.Attacker
 
 	timing    mac.Timing
-	deltaSS   int // hop distance sink→source; fixed by the topology
-	sinkEcc   int // max hop distance from the sink; fixed by the topology
+	deltaSS   int // lint:immutable: hop distance sink→source, fixed by the topology
+	sinkEcc   int // lint:immutable: max hop distance from the sink, fixed by the topology
 	dataStart time.Duration
 	deadline  time.Duration
 	delta     float64 // safety period in TDMA periods
@@ -86,15 +87,15 @@ type Network struct {
 	// single-threaded and messages are consumed before the next is built,
 	// so per-network scratch makes the whole protocol layer frame traffic
 	// without allocating.
-	dec       wire.Decoder
-	outHello  wire.Hello
-	outDissem wire.Dissem
-	outSearch wire.Search
-	outChange wire.Change
-	outData   wire.Data
-	frame     []byte // marshal scratch
+	dec       wire.Decoder // lint:immutable: scratch, overwritten before every use
+	outHello  wire.Hello   // lint:immutable: scratch, overwritten before every use
+	outDissem wire.Dissem  // lint:immutable: scratch, overwritten before every use
+	outSearch wire.Search  // lint:immutable: scratch, overwritten before every use
+	outChange wire.Change  // lint:immutable: scratch, overwritten before every use
+	outData   wire.Data    // lint:immutable: scratch, overwritten before every use
+	frame     []byte       // lint:immutable: marshal scratch, overwritten before every use
 
-	periodTick periodTick
+	periodTick periodTick // lint:immutable: rebound via rearm() on every setup
 }
 
 // periodTick is the reusable period-boundary event that drives every
@@ -318,6 +319,8 @@ func (n *Network) parentKey(child, parent topo.NodeID) uint64 {
 // broadcast marshals and transmits a protocol message, accounting stats.
 // The message may live in the network's outgoing scratch; it is fully
 // consumed (framed and copied by the medium) before broadcast returns.
+//
+//slp:hotpath
 func (n *Network) broadcast(from topo.NodeID, msg wire.Message) {
 	n.frame = wire.AppendFrame(n.frame[:0], msg)
 	st := &n.msgStats[msg.Kind()]
@@ -380,10 +383,17 @@ func (n *Network) setup() error {
 		}
 	}
 
-	// Failure injection.
-	for id, at := range n.failAt {
+	// Failure injection. Schedule in NodeID order: map iteration order would
+	// vary the simulator's tie-breaking sequence numbers for failures that
+	// share a deadline, and with them the run's event interleaving.
+	var failIDs []topo.NodeID
+	for id := range n.failAt {
+		failIDs = append(failIDs, id)
+	}
+	slices.Sort(failIDs)
+	for _, id := range failIDs {
 		id := id
-		if _, err := n.sim.Schedule(at, func() { n.medium.DisableNode(id) }); err != nil {
+		if _, err := n.sim.Schedule(n.failAt[id], func() { n.medium.DisableNode(id) }); err != nil {
 			return err
 		}
 	}

@@ -68,12 +68,12 @@ func (t *infoTable) reset() {
 // (GCN actions, timers, radio receiver); everything else is per-run state
 // rewound by reset, so one node serves every run of an arena network.
 type node struct {
-	id      topo.NodeID
-	net     *Network
-	prc     *gcn.Process
-	pcg     rand.PCG // owned so reset can reseed in place
-	rng     *rand.Rand
-	helloFn func() // cached method value; scheduled once per NDP round
+	id      topo.NodeID  // lint:immutable: identity, fixed at construction
+	net     *Network     // lint:immutable: back-pointer wiring, fixed at construction
+	prc     *gcn.Process // lint:immutable: pointer fixed; process reset separately
+	pcg     rand.PCG     // owned so reset can reseed in place
+	rng     *rand.Rand   // lint:immutable: wraps &pcg; reset reseeds the pcg in place
+	helloFn func()       // lint:immutable: cached method value; scheduled once per NDP round
 
 	// --- Figure 2 (DAS) state ---
 	myN      []topo.NodeID                        // discovered neighbours, sorted
@@ -87,8 +87,8 @@ type node struct {
 	normal   bool                                 // false during the update phase
 	version  uint32                               // own state freshness
 
-	dissem       *gcn.Timer
-	decide       *gcn.Timer // defers the process action one dissem round
+	dissem       *gcn.Timer // lint:immutable: pointer fixed; timer disarmed by the engine reset
+	decide       *gcn.Timer // lint:immutable: pointer fixed; defers the process action one dissem round
 	dissemBudget int
 
 	// --- Figure 3 (NSearch) state ---
@@ -113,7 +113,7 @@ func newNode(id topo.NodeID, net *Network) *node {
 		others:   make(map[topo.NodeID]map[topo.NodeID]bool),
 		from:     make(map[topo.NodeID]bool),
 	}
-	n.rng = rand.New(&n.pcg)
+	n.rng = xrand.Wrap(&n.pcg)
 	n.helloFn = n.sendHello
 	n.prc = net.engine.NewProcess(id)
 	n.install()
@@ -448,6 +448,7 @@ func (n *node) chooseSlot() {
 	// while all nodes within one run agree on it.
 	rank := int32(0)
 	myKey := n.net.rankKey(n.par, n.id)
+	//lint:ignore mapiter counting key-hash comparisons commutes over any order
 	for c := range n.others[n.par] {
 		if c != n.id && n.net.rankKey(n.par, c) < myKey {
 			rank++
@@ -633,6 +634,7 @@ func (n *node) onSearch(sender topo.NodeID, s *wire.Search) {
 
 // hasAltParent reports Npar \ {par, k} ≠ ∅.
 func (n *node) hasAltParent(k topo.NodeID) bool {
+	//lint:ignore mapiter existence scan, order-independent
 	for p := range n.npar {
 		if p != n.par && p != k {
 			return true

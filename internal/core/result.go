@@ -77,6 +77,7 @@ func (r *Result) DataMessagesPerPeriod() float64 {
 // ControlMessages sums non-DATA frames sent — the protocol's overhead.
 func (r *Result) ControlMessages() uint64 {
 	var total uint64
+	//lint:ignore mapiter uint sum commutes over any order
 	for t, s := range r.Messages {
 		if t != wire.TypeData {
 			total += s.Count
@@ -88,6 +89,7 @@ func (r *Result) ControlMessages() uint64 {
 // ControlBytes sums non-DATA bytes sent.
 func (r *Result) ControlBytes() uint64 {
 	var total uint64
+	//lint:ignore mapiter uint sum commutes over any order
 	for t, s := range r.Messages {
 		if t != wire.TypeData {
 			total += s.Bytes
@@ -99,6 +101,7 @@ func (r *Result) ControlBytes() uint64 {
 // TotalMessages sums every frame sent.
 func (r *Result) TotalMessages() uint64 {
 	var total uint64
+	//lint:ignore mapiter uint sum commutes over any order
 	for _, s := range r.Messages {
 		total += s.Count
 	}

@@ -45,7 +45,7 @@ type Runner interface {
 type eventBox struct {
 	fn        func()
 	run       Runner
-	gen       uint64
+	gen       uint64 // lint:immutable: incarnation counter, must survive reset to invalidate stale handles
 	cancelled bool
 }
 
@@ -110,7 +110,7 @@ type Simulator struct {
 	free      []*eventBox
 	seq       uint64
 	executed  uint64
-	maxEvents uint64
+	maxEvents uint64 // lint:immutable: configured budget, fixed at construction
 	stopped   bool
 }
 
@@ -181,6 +181,7 @@ func (s *Simulator) Reset() {
 // the queue reuses slice capacity and steady-state push/pop allocates
 // nothing.
 
+//slp:hotpath
 func (s *Simulator) heapPush(e entry) {
 	s.queue = append(s.queue, e)
 	i := len(s.queue) - 1
@@ -194,6 +195,7 @@ func (s *Simulator) heapPush(e entry) {
 	}
 }
 
+//slp:hotpath
 func (s *Simulator) heapPop() entry {
 	q := s.queue
 	top := q[0]
@@ -205,6 +207,7 @@ func (s *Simulator) heapPop() entry {
 	return top
 }
 
+//slp:hotpath
 func (s *Simulator) siftDown(i int) {
 	q := s.queue
 	n := len(q)
@@ -233,6 +236,7 @@ func (s *Simulator) siftDown(i int) {
 
 // --- event pool ---
 
+//slp:hotpath
 func (s *Simulator) getBox() *eventBox {
 	if n := len(s.free); n > 0 {
 		b := s.free[n-1]
@@ -246,6 +250,8 @@ func (s *Simulator) getBox() *eventBox {
 // releaseBox recycles an executed box. Cancelled boxes are deliberately
 // not recycled (see RunUntil): their handles must keep reporting
 // Cancelled() == true indefinitely.
+//
+//slp:hotpath
 func (s *Simulator) releaseBox(b *eventBox) {
 	b.gen++
 	b.reset()
@@ -253,6 +259,8 @@ func (s *Simulator) releaseBox(b *eventBox) {
 }
 
 // schedule enqueues a box and returns its entry keys.
+//
+//slp:hotpath
 func (s *Simulator) schedule(at time.Duration, b *eventBox) {
 	s.heapPush(entry{at: at, seq: s.seq, box: b})
 	s.seq++
@@ -287,8 +295,11 @@ func (s *Simulator) ScheduleAfter(d time.Duration, fn func()) Event {
 // ScheduleRunner queues r to run at absolute virtual time at. Runner
 // events have no cancellation handle; together with the event pool this
 // makes scheduling them allocation-free.
+//
+//slp:hotpath
 func (s *Simulator) ScheduleRunner(at time.Duration, r Runner) error {
 	if at < s.now {
+		//lint:ignore hotpath cold error path, only reached on caller bugs
 		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
 	}
 	b := s.getBox()
@@ -299,6 +310,8 @@ func (s *Simulator) ScheduleRunner(at time.Duration, r Runner) error {
 
 // ScheduleRunnerAfter queues r to run d after the current time. Negative d
 // is treated as zero.
+//
+//slp:hotpath
 func (s *Simulator) ScheduleRunnerAfter(d time.Duration, r Runner) {
 	if d < 0 {
 		d = 0

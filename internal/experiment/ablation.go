@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"slpdas/internal/attacker"
 	"slpdas/internal/core"
@@ -205,11 +206,7 @@ func LossModelSweep(gridSize, searchDistance, repeats int, baseSeed uint64, work
 		names = append(names, name)
 	}
 	// Sort for deterministic output order.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	out := make([]LossModelPoint, 0, len(models))
 	for _, name := range names {
 		cfg := core.DefaultSLP(searchDistance)

@@ -190,6 +190,7 @@ func (a *Accumulator) Add(r *core.Result) {
 	if l := r.MeanDeliveryLatency(); l >= 0 {
 		a.latency.add(l, a.KeepResults)
 	}
+	//lint:ignore mapiter independent per-type series updates, order-free
 	for t, s := range r.Messages {
 		bt := a.byType[t]
 		if bt == nil {
@@ -209,6 +210,7 @@ func (a *Accumulator) Finalize() *Aggregate {
 	a.agg.ChangedNodes = a.changed.summary(a.KeepResults)
 	a.agg.SourceDeliveries = a.deliveries.summary(a.KeepResults)
 	a.agg.DeliveryLatency = a.latency.summary(a.KeepResults)
+	//lint:ignore mapiter map-to-map copy keyed by the same key, order-free
 	for t, s := range a.byType {
 		a.agg.MessagesByType[t] = s.summary(a.KeepResults)
 	}

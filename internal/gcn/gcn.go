@@ -93,15 +93,15 @@ type action struct {
 // Process is a GCN process: an ordered action list, a channel variable and
 // a set of timers. Create via Engine.NewProcess.
 type Process struct {
-	id     topo.NodeID
-	engine *Engine
+	id     topo.NodeID // lint:immutable: identity, fixed at construction
+	engine *Engine     // lint:immutable: back-pointer wiring, fixed at construction
 	// inbox is the channel variable as a head-indexed queue: consumed
 	// entries advance head instead of re-slicing, and once the queue
 	// drains both reset to zero so the backing array is reused — Deliver
 	// is allocation-free in steady state.
 	inbox     []envelope
 	inboxHead int
-	actions   []*action
+	actions   []*action // lint:immutable: the process program, fixed at construction
 	// Dropped counts head-of-channel messages no receive action matched.
 	dropped uint64
 	failed  error
@@ -170,12 +170,13 @@ func (p *Process) NewTimer(name string, command func()) *Timer {
 
 // Engine hosts processes on a simulator.
 type Engine struct {
-	sim        *des.Simulator
-	stepBudget int
+	sim        *des.Simulator // lint:immutable: simulator wiring, fixed at construction
+	stepBudget int            // lint:immutable: configured budget, fixed at construction
 	// OnAction, when non-nil, is invoked before every executed action —
 	// a tracing hook used by tests and the debug tooling.
+	// lint:immutable: observer hook owned by the caller, not run state
 	OnAction func(p *Process, actionName string)
-	procs    []*Process
+	procs    []*Process // lint:immutable: slice header fixed; processes reset individually
 }
 
 // NewEngine creates an engine. stepBudget bounds actions executed per
@@ -199,6 +200,8 @@ func (e *Engine) NewProcess(id topo.NodeID) *Process {
 
 // Deliver enqueues msg from sender on p's channel variable and runs p to
 // quiescence. This is how the radio hands received frames to a protocol.
+//
+//slp:hotpath
 func (e *Engine) Deliver(p *Process, sender topo.NodeID, msg Message) {
 	if p.inboxHead == len(p.inbox) {
 		// Queue is drained: rewind so the backing array is reused.
@@ -233,12 +236,15 @@ func (e *Engine) Err() error {
 }
 
 // stimulate runs the process action loop until quiescence.
+//
+//slp:hotpath
 func (e *Engine) stimulate(p *Process) {
 	if p.failed != nil {
 		return
 	}
 	for steps := 0; ; steps++ {
 		if steps >= e.stepBudget {
+			//lint:ignore hotpath cold failure path, the process is dead after this
 			p.failed = fmt.Errorf("%w (process %d, budget %d)", ErrStepBudget, p.id, e.stepBudget)
 			return
 		}
@@ -253,6 +259,8 @@ func (e *Engine) stimulate(p *Process) {
 // action matches and it is dropped — counts as one step, so a flood of
 // unmatched messages is charged against the step budget instead of being
 // discarded for free inside a single step.
+//
+//slp:hotpath
 func (p *Process) stepOnce(e *Engine) bool {
 	// Channel head first: receive actions have rcv guards that depend on
 	// the head message, evaluated in declaration order.

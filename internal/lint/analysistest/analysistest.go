@@ -1,0 +1,175 @@
+// Package analysistest runs slplint analyzers over source fixtures with
+// inline expectations, mirroring golang.org/x/tools's analysistest on top
+// of the repo's stdlib-only analysis framework. A fixture is a directory
+// holding one Go package; lines that should produce a diagnostic carry a
+//
+//	// want "regexp"
+//
+// comment on the same line. An optional signed offset targets a nearby
+// line — `want-1 "re"` expects the diagnostic one line above the comment —
+// which is how fixtures pin findings on lines that cannot carry a comment
+// of their own (e.g. a malformed pragma line, whose whole tail *is* the
+// pragma). Several want clauses may share one comment.
+//
+// Fixtures run through lint.RunAnalyzer, so `//lint:ignore` suppression
+// and malformed-pragma reporting behave exactly as in the production
+// driver; suppression paths are therefore tested end to end, not mocked.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slpdas/internal/lint"
+	"slpdas/internal/lint/analysis"
+	"slpdas/internal/lint/load"
+)
+
+// wantRe matches one expectation clause inside a comment.
+var wantRe = regexp.MustCompile(`want([+-][0-9]+)?[ \t]+"([^"]*)"`)
+
+// expectation is one parsed want clause.
+type expectation struct {
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// failImporter rejects every import; used for fixtures that import
+// nothing, where spinning up a go list closure would be waste.
+type failImporter struct{}
+
+func (failImporter) Import(path string) (*types.Package, error) {
+	return nil, &importError{path}
+}
+
+type importError struct{ path string }
+
+func (e *importError) Error() string {
+	return "analysistest: fixture imports " + strconv.Quote(e.path) + "; pass it as a dep to Run"
+}
+
+// Run type-checks the fixture package in dir — resolving imports against
+// the type-checked closure of deps — applies the analyzer via
+// lint.RunAnalyzer, and reports every mismatch between produced findings
+// and want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, deps ...string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	var imp types.Importer = failImporter{}
+	if len(deps) > 0 {
+		prog, err := load.Load("", deps...)
+		if err != nil {
+			t.Fatalf("loading fixture deps %v: %v", deps, err)
+		}
+		fset = prog.Fset
+		imp = prog.Importer()
+	}
+
+	files, err := parseFixture(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+	pkg, info, err := load.Check(fset, "fixture", files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	findings, err := lint.RunAnalyzer(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expected := collectWants(t, fset, files)
+
+	for _, f := range findings {
+		// Wants may anchor on the message alone or the trailing
+		// "[analyzer]" tag, matching Finding.String's rendering.
+		haystack := f.Message + " [" + f.Analyzer + "]"
+		if !claim(expected[f.File], f.Line, haystack) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, exps := range expected {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the finding's line whose
+// regexp matches, reporting whether one existed.
+func claim(exps []*expectation, line int, haystack string) bool {
+	for _, e := range exps {
+		if !e.matched && e.line == line && e.re.MatchString(haystack) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseFixture parses every .go file of the fixture directory, comments
+// retained (both the analyzers' annotations and the want clauses live
+// there).
+func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, ent.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectWants scans every comment for want clauses, keyed by filename as
+// rendered in findings.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	expected := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					offset := 0
+					if m[1] != "" {
+						offset, _ = strconv.Atoi(m[1])
+					}
+					re, err := regexp.Compile(m[2])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[2], err)
+					}
+					expected[pos.Filename] = append(expected[pos.Filename], &expectation{
+						line: pos.Line + offset,
+						re:   re,
+						raw:  m[2],
+					})
+				}
+			}
+		}
+	}
+	return expected
+}

@@ -1,0 +1,193 @@
+// Package load type-checks Go packages for the slplint analyzers using
+// only the standard library: `go list -deps -json` enumerates the target
+// packages and their full import closure in dependency order, and each
+// package is then parsed and type-checked from source with go/types. The
+// usual tool for this is golang.org/x/tools/go/packages; the repo vendors
+// no third-party modules, and for a module whose only dependencies are the
+// standard library the from-source pipeline is small and fully
+// deterministic.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package with its syntax retained.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's maps for Files.
+	Info *types.Info
+}
+
+// Program is the result of a Load: the shared FileSet, the target packages
+// (those matching the patterns, in `go list` order), and the type-checked
+// import closure backing them.
+type Program struct {
+	Fset    *token.FileSet
+	Targets []*Package
+
+	byPath map[string]*types.Package
+}
+
+// Importer returns an importer resolving every package of the program's
+// closure by import path. Used by the analysistest harness to type-check
+// fixture files against the same dependency set.
+func (p *Program) Importer() types.Importer {
+	return mapImporter(p.byPath)
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("load: package %q not in the type-checked closure", path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates patterns (e.g. "./...") relative to dir, type-checks the
+// packages and their whole import closure from source, and returns the
+// targets with syntax and type information attached.
+func Load(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*types.Package{"unsafe": types.Unsafe},
+	}
+	imp := mapImporter(prog.byPath)
+
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			// Assembly- or test-only package; nothing to check.
+			if !lp.DepOnly {
+				continue
+			}
+			return nil, fmt.Errorf("load: %s: no Go files", lp.ImportPath)
+		}
+
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+
+		info := newInfo()
+		conf := types.Config{
+			Importer: imp,
+			// Dependencies are checked from source; tolerate nothing. A
+			// type error anywhere is a hard stop: analyzers must never run
+			// over partial type information.
+		}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+		}
+		prog.byPath[lp.ImportPath] = tpkg
+
+		if !lp.DepOnly {
+			prog.Targets = append(prog.Targets, &Package{
+				Path:  lp.ImportPath,
+				Dir:   lp.Dir,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
+	}
+	return prog, nil
+}
+
+// Check type-checks one already-parsed package (used by the analysistest
+// harness for fixture files) against the program importer imp.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// goList shells out to the go command for package enumeration: it is the
+// one authority on build constraints, file lists and dependency order.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: the simulator has no cgo, and from-source type-checking
+	// must not see cgo-generated files.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

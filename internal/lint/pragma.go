@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+	"sync"
+
+	"slpdas/internal/lint/analysis"
+)
+
+// Pragma escape hatches. Each analyzer encodes a contract with legitimate
+// exceptions; the exceptions are annotated in the source so they are
+// visible in review and greppable later:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses the named analyzers' findings on the same line, or — when the
+// pragma stands on its own line — on the line directly below it. The
+// reason is mandatory: a suppression nobody can justify is a finding.
+//
+//	// lint:immutable[: <reason>]
+//
+// on a struct field declaration exempts that field from the resetcomplete
+// contract: the field is wiring or cross-run state that Reset deliberately
+// preserves.
+const (
+	ignorePragma    = "lint:ignore"
+	immutablePragma = "lint:immutable"
+)
+
+// ignoreSite is one parsed //lint:ignore pragma.
+type ignoreSite struct {
+	analyzers map[string]bool
+	ownLine   bool // pragma is alone on its line: applies to the next line
+}
+
+// pragmaIndex maps file -> line -> pragma for one package's files.
+type pragmaIndex map[*token.File]map[int]ignoreSite
+
+// indexPragmas scans every comment of every file for //lint:ignore
+// pragmas. Malformed pragmas (no analyzer list or no reason) are reported
+// as findings themselves via report, so they cannot silently suppress
+// nothing.
+func indexPragmas(fset *token.FileSet, files []*ast.File, report func(analysis.Diagnostic)) pragmaIndex {
+	idx := pragmaIndex{}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePragma) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePragma))
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					report(analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //lint:ignore pragma: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				site := ignoreSite{analyzers: map[string]bool{}}
+				for _, name := range strings.Split(parts[0], ",") {
+					site.analyzers[strings.TrimSpace(name)] = true
+				}
+				pos := fset.Position(c.Pos())
+				// The pragma is "own line" when nothing but whitespace
+				// precedes it on its line.
+				lineStart := tf.LineStart(pos.Line)
+				site.ownLine = strings.TrimSpace(contentBetween(tf, lineStart, c.Pos())) == ""
+				if idx[tf] == nil {
+					idx[tf] = map[int]ignoreSite{}
+				}
+				idx[tf][pos.Line] = site
+			}
+		}
+	}
+	return idx
+}
+
+// contentBetween is a best-effort read of the source between two positions
+// of one file; used only to classify a pragma as own-line vs trailing.
+func contentBetween(tf *token.File, from, to token.Pos) string {
+	// Positions map 1:1 onto the file's byte offsets.
+	a, b := tf.Offset(from), tf.Offset(to)
+	if a < 0 || b < a {
+		return ""
+	}
+	src := fileBytes(tf)
+	if src == nil || b > len(src) {
+		return ""
+	}
+	return string(src[a:b])
+}
+
+// fileBytes returns the source of tf, read from disk and cached. Pragma
+// classification is the only consumer; a file that cannot be re-read
+// degrades to trailing-pragma semantics, never to a crash.
+var fileBytesCache sync.Map // *token.File -> []byte
+
+func fileBytes(tf *token.File) []byte {
+	if v, ok := fileBytesCache.Load(tf); ok {
+		return v.([]byte)
+	}
+	src, err := os.ReadFile(tf.Name())
+	if err != nil || len(src) != tf.Size() {
+		src = nil
+	}
+	fileBytesCache.Store(tf, src)
+	return src
+}
+
+// suppressed reports whether a diagnostic of analyzer name at pos is
+// covered by an ignore pragma on its line or the line above.
+func (idx pragmaIndex) suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := idx[tf]
+	if lines == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	if site, ok := lines[line]; ok && site.analyzers[name] {
+		return true
+	}
+	if site, ok := lines[line-1]; ok && site.ownLine && site.analyzers[name] {
+		return true
+	}
+	return false
+}
+
+// hasImmutableMark reports whether a struct field carries the
+// lint:immutable annotation in its doc or trailing comment.
+func hasImmutableMark(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, immutablePragma) {
+				return true
+			}
+		}
+	}
+	return false
+}

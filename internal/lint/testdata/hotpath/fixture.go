@@ -1,0 +1,99 @@
+// Fixture for the hotpath analyzer: functions annotated //slp:hotpath must
+// not contain closure literals, fmt calls, interface boxing of concrete
+// values, or appends to fresh uncapped slices. Unannotated functions are
+// never checked.
+package fixture
+
+import "fmt"
+
+type runner interface{ run() }
+
+type task struct{ n int }
+
+func (t task) run() {}
+
+func consume(r runner) {}
+
+func sink(args ...any) {}
+
+//slp:hotpath
+func closure(fn func()) {
+	go func() { fn() }() // want "closure literal"
+}
+
+//slp:hotpath
+func format(id int) {
+	fmt.Println("id", id) // want "fmt.Println"
+}
+
+//slp:hotpath
+func boxArg(t task) {
+	consume(t)  // want "interface boxing"
+	consume(&t) // pointer-shaped: stored in the interface word, allowed
+}
+
+//slp:hotpath
+func boxReturn(t task) runner {
+	return t // want "interface boxing"
+}
+
+//slp:hotpath
+func boxAssign(t task) {
+	var r runner
+	r = t // want "interface boxing"
+	r.run()
+}
+
+//slp:hotpath
+func boxConversion(t task) {
+	_ = runner(t) // want "interface boxing"
+}
+
+//slp:hotpath
+func boxVariadic(t task) {
+	sink(t) // want "interface boxing"
+}
+
+//slp:hotpath
+func forward(args []any) {
+	sink(args...) // forwarding a slice: no per-element boxing
+}
+
+//slp:hotpath
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append to fresh uncapped slice out"
+	}
+	return out
+}
+
+//slp:hotpath
+func growCapped(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//slp:hotpath
+func appendParam(buf []byte, b byte) []byte {
+	return append(buf, b) // caller-owned buffer: allowed
+}
+
+//slp:hotpath
+func coldError(ok bool) error {
+	if !ok {
+		//lint:ignore hotpath cold error path, only reached on caller bugs
+		return fmt.Errorf("bad state")
+	}
+	return nil
+}
+
+// unmarked is not annotated; nothing in it is checked.
+func unmarked() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%d", 1))
+	return parts[0]
+}

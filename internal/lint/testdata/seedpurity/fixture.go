@@ -1,0 +1,55 @@
+// Fixture for the seedpurity analyzer: wall-clock reads, math/rand and
+// crypto/rand imports and math/rand/v2 package-function calls are flagged;
+// referencing rand types as owned state is allowed.
+package fixture
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand"
+	mrand "math/rand"   // want "import of math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+// owned holds reseedable generator state — type references are fine.
+type owned struct {
+	pcg rand.PCG
+	rng *rand.Rand
+}
+
+// draw uses a method on owned state, not a package function. Not flagged.
+func draw(o *owned) int {
+	return o.rng.IntN(6)
+}
+
+// wallClock reads the wall clock twice — both flagged.
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now in a simulation package"
+	return time.Since(start) // want "time.Since in a simulation package"
+}
+
+// virtualTime uses time only for arithmetic and construction. Not flagged.
+func virtualTime(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+// mint constructs a generator with package functions instead of xrand.
+func mint(seed uint64) *rand.Rand {
+	pcg := rand.NewPCG(seed, 1) // want "rand.NewPCG in a simulation package"
+	return rand.New(pcg)        // want "rand.New in a simulation package"
+}
+
+// v1Global draws from math/rand's shared global state.
+func v1Global() int {
+	return mrand.Int() // want "rand.Int in a simulation package"
+}
+
+// entropy uses crypto/rand; the import is the finding, reported above.
+func entropy(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+// suppressedClock carries the pragma on its own line above the read.
+func suppressedClock() time.Duration {
+	//lint:ignore seedpurity coarse progress logging only, never in results
+	return time.Since(time.Unix(0, 0))
+}

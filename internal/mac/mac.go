@@ -84,6 +84,7 @@ type fireEvent struct {
 	period int
 }
 
+//slp:hotpath
 func (f *fireEvent) Run() {
 	if !f.st.stopped {
 		f.st.fire(f.period)
@@ -135,6 +136,8 @@ func (st *SlotTask) Stop() { st.stopped = true }
 func (st *SlotTask) Period() int { return st.period }
 
 // Run implements des.Runner: the period-boundary event.
+//
+//slp:hotpath
 func (st *SlotTask) Run() {
 	if st.stopped {
 		return

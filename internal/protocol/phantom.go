@@ -46,7 +46,7 @@ func (pi *phantomInstance) Reset(env *Env, p Params, seed uint64) {
 	pi.p = p
 	pi.pcg.Seed(xrand.Seeds(seed, 0x7068616e746f6d))
 	if pi.rng == nil {
-		pi.rng = rand.New(&pi.pcg)
+		pi.rng = xrand.Wrap(&pi.pcg)
 	}
 }
 

@@ -55,7 +55,7 @@ func (ti *tierInstance) Reset(env *Env, p Params, seed uint64) {
 	ti.p = p
 	ti.pcg.Seed(xrand.Seeds(seed, 0x74696572))
 	if ti.rng == nil {
-		ti.rng = rand.New(&ti.pcg)
+		ti.rng = xrand.Wrap(&ti.pcg)
 	}
 }
 

@@ -75,17 +75,17 @@ type Stats struct {
 // Medium is the shared broadcast channel. It is not safe for concurrent
 // use; the simulator is single-threaded by design.
 type Medium struct {
-	sim        *des.Simulator
-	g          *topo.Graph
+	sim        *des.Simulator // lint:immutable: simulator wiring, fixed at construction
+	g          *topo.Graph    // lint:immutable: topology wiring, fixed at construction
 	loss       LossModel
 	collisions bool
-	pcg        rand.PCG // owned so Reset can reseed rng in place
-	rng        *rand.Rand
-	bitrate    int
-	overhead   time.Duration
-	propDelay  time.Duration
+	pcg        rand.PCG      // owned so Reset can reseed rng in place
+	rng        *rand.Rand    // lint:immutable: wraps &pcg; Reset reseeds the pcg in place
+	bitrate    int           // lint:immutable: PHY parameter, fixed at construction
+	overhead   time.Duration // lint:immutable: PHY parameter, fixed at construction
+	propDelay  time.Duration // lint:immutable: PHY parameter, fixed at construction
 
-	receivers []Receiver
+	receivers []Receiver // lint:immutable: registration wiring, rebuilt only when the node set changes
 	disabled  []bool
 	// observers is kept ordered by id so the scan at each transmission end
 	// visits live observers in registration order — deterministic, and
@@ -100,13 +100,13 @@ type Medium struct {
 	rxEnd    []time.Duration
 	rxLatest []*delivery
 
-	freeDeliveries []*delivery
-	freeScans      []*obsScan
-	freeFrames     []*frame
+	freeDeliveries []*delivery // lint:immutable: free list; pooled objects carry no cross-run state
+	freeScans      []*obsScan  // lint:immutable: free list; pooled objects carry no cross-run state
+	freeFrames     []*frame    // lint:immutable: free list; pooled objects carry no cross-run state
 	// scanScratch is the reusable observer snapshot each obsScan iterates,
 	// so Overhear callbacks may add/remove observers without corrupting
 	// the walk.
-	scanScratch []observerEntry
+	scanScratch []observerEntry // lint:immutable: scratch, overwritten before every use
 
 	stats Stats
 }
@@ -133,6 +133,8 @@ type delivery struct {
 }
 
 // Run implements des.Runner: the frame arrives at d.to.
+//
+//slp:hotpath
 func (d *delivery) Run() {
 	m := d.m
 	if !m.disabled[d.to] {
@@ -166,6 +168,8 @@ type obsScan struct {
 // carrier, not the payload. The observer set is snapshotted before the
 // callbacks run, so an Overhear that adds or removes observers affects
 // later transmissions, not the one being delivered.
+//
+//slp:hotpath
 func (s *obsScan) Run() {
 	m := s.m
 	obs := Observation{At: m.sim.Now(), From: s.from, Pos: s.pos, Bytes: s.bytes}
@@ -215,7 +219,7 @@ func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium
 		rxLatest:  make([]*delivery, g.Len()),
 	}
 	m.pcg.Seed(xrand.SeedsNamed(seed, "radio"))
-	m.rng = rand.New(&m.pcg)
+	m.rng = xrand.Wrap(&m.pcg)
 	for _, o := range opts {
 		o(m)
 	}
@@ -282,6 +286,8 @@ func (m *Medium) RemoveObserver(id int) {
 }
 
 // Airtime returns the on-air duration of a payload of the given size.
+//
+//slp:hotpath
 func (m *Medium) Airtime(bytes int) time.Duration {
 	return m.overhead + time.Duration(bytes*8)*time.Second/time.Duration(m.bitrate)
 }
@@ -291,6 +297,7 @@ func (m *Medium) Stats() Stats { return m.stats }
 
 // --- pools ---
 
+//slp:hotpath
 func (m *Medium) getFrame(payload []byte) *frame {
 	var f *frame
 	if n := len(m.freeFrames); n > 0 {
@@ -305,12 +312,14 @@ func (m *Medium) getFrame(payload []byte) *frame {
 	return f
 }
 
+//slp:hotpath
 func (m *Medium) releaseFrame(f *frame) {
 	if f.refs--; f.refs == 0 {
 		m.freeFrames = append(m.freeFrames, f)
 	}
 }
 
+//slp:hotpath
 func (m *Medium) getDelivery(f *frame, from, to topo.NodeID) *delivery {
 	var d *delivery
 	if n := len(m.freeDeliveries); n > 0 {
@@ -328,6 +337,7 @@ func (m *Medium) getDelivery(f *frame, from, to topo.NodeID) *delivery {
 	return d
 }
 
+//slp:hotpath
 func (m *Medium) getScan(from topo.NodeID, pos topo.Point, bytes int) *obsScan {
 	var s *obsScan
 	if n := len(m.freeScans); n > 0 {
@@ -348,8 +358,11 @@ func (m *Medium) getScan(from topo.NodeID, pos topo.Point, bytes int) *obsScan {
 // slice is copied; callers may reuse their buffer. Steady state, the whole
 // fan-out allocates nothing: deliveries, observer scans and payload
 // buffers are recycled through the medium's pools.
+//
+//slp:hotpath
 func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 	if !m.g.Valid(from) {
+		//lint:ignore hotpath cold panic path, only reached on caller bugs
 		panic(fmt.Sprintf("radio: broadcast from invalid node %d", from))
 	}
 	if m.disabled[from] {

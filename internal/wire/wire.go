@@ -159,6 +159,8 @@ func Marshal(m Message) []byte {
 // senders keep one scratch buffer and call AppendFrame(buf[:0], m) so
 // steady-state framing allocates nothing (the radio copies payloads, so
 // the buffer is free for reuse as soon as Broadcast returns).
+//
+//slp:hotpath
 func AppendFrame(buf []byte, m Message) []byte {
 	buf = append(buf, byte(m.Kind()))
 	return m.appendBody(buf)
