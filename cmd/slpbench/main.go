@@ -28,7 +28,7 @@
 //
 // Usage:
 //
-//	slpbench [-out BENCH_7.json] [-check BENCH_7.json] [-quiet]
+//	slpbench [-out BENCH_9.json] [-check BENCH_9.json] [-quiet]
 package main
 
 import (
@@ -45,6 +45,7 @@ import (
 	"slpdas/internal/campaign"
 	"slpdas/internal/core"
 	"slpdas/internal/des"
+	"slpdas/internal/fault"
 	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/topo"
@@ -88,7 +89,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_7.json", "output JSON file (empty = stdout)")
+	out := fs.String("out", "BENCH_9.json", "output JSON file (empty = stdout)")
 	check := fs.String("check", "", "baseline JSON to compare against; allocs/op regressions in zero-alloc suites fail the run")
 	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -251,6 +252,7 @@ func suite() []benchmark {
 		{"core/setup-reset-11", benchSetupReset},
 		{"core/single-run-11", benchSingleRun(11)},
 		{"core/single-run-21", benchSingleRun(21)},
+		{"core/churn-run", benchChurnRun},
 		{"protocol/dispatch", benchProtocolDispatch},
 		{"campaign/cell-5x5", benchCampaignCell},
 		{"campaign/sweep-11x11-x100", benchRepeatHeavySweep},
@@ -400,6 +402,31 @@ func benchSingleRun(side int) func(b *testing.B) {
 			if _, err := net.Run(); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// benchChurnRun measures one complete lifecycle with the fault-injection
+// subsystem live: churn crashes nodes mid-data-phase and rejoins them
+// after the MTTR, exercising plan minting, crash/recover event handling,
+// re-discovery and slot re-acquisition on top of the single-run cost.
+func benchChurnRun(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, source := topo.GridCentre(11), topo.GridTopLeft()
+	cfg := core.DefaultSLP(3)
+	cfg.Faults = fault.Spec{Kind: fault.Churn, Rate: 0.15, MTTR: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := core.NewNetwork(g, sink, source, cfg, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

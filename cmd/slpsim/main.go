@@ -12,6 +12,7 @@
 //	                [-repeats N] [-seed S] [-loss ideal|bernoulli:p|rssi]
 //	                [-attacker R,H,M] [-strategy NAME] [-nattackers K]
 //	                [-shared-history] [-collisions]
+//	                [-faults none|crash:<rate>|churn:<rate>:<mttr>|link:<rate>|blackout:<r>@<p>]
 //	slpsim protocols
 //	slpsim strategies
 package main
@@ -238,6 +239,7 @@ func runCustom(args []string) error {
 	nattackers := fs.Int("nattackers", 1, "eavesdropper team size")
 	sharedHistory := fs.Bool("shared-history", false, "pool one H-window across the team")
 	collisions := fs.Bool("collisions", false, "enable receiver-side collisions")
+	faults := fs.String("faults", "none", "fault injection: none, crash:<rate>, churn:<rate>:<mttr>, link:<rate>, blackout:<r>@<p>")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,6 +261,7 @@ func runCustom(args []string) error {
 		SharedHistory:  *sharedHistory,
 		LossModel:      *loss,
 		Collisions:     *collisions,
+		Faults:         *faults,
 	}
 	sum, err := slpdas.Run(cfg)
 	if err != nil {

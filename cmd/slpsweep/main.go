@@ -1,6 +1,6 @@
 // Command slpsweep runs a full experimental campaign — the Cartesian
-// product of topology, protocol, search-distance, attacker, loss-model
-// and collision axes — through one shared worker pool, streaming one
+// product of topology, protocol, search-distance, attacker, loss-model,
+// collision and fault-injection axes — through one shared worker pool, streaming one
 // result row per cell to a JSONL or CSV sink. The paper's whole
 // evaluation is one invocation:
 //
@@ -27,7 +27,9 @@
 //	         [-attackers R,H,M[;R,H,M...]] [-strategies first-heard,cautious,...]
 //	         [-nattackers 1,2,3] [-shared-history false,true]
 //	         [-loss ideal,bernoulli:<p>,rssi]
-//	         [-collisions false,true] [-repeats N] [-seed S] [-workers W]
+//	         [-collisions false,true]
+//	         [-faults none,crash:<rate>,churn:<rate>:<mttr>,link:<rate>,blackout:<r>@<p>]
+//	         [-repeats N] [-seed S] [-workers W]
 //	         [-path-cap off|full|N] [-out results.jsonl] [-format jsonl|csv]
 //	         [-resume] [-shard i/n] [-checkpoint N] [-quiet]
 package main
@@ -63,6 +65,7 @@ func run(args []string) int {
 	sharedArg := fs.String("shared-history", "false", "comma-separated shared-H-window settings: false, true")
 	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p> with p in [0,1], rssi")
 	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
+	faultsArg := fs.String("faults", "none", "comma-separated fault-injection axis: none, crash:<rate>, churn:<rate>:<mttr>, link:<rate>, blackout:<r>@<p>")
 	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
 	pathCapArg := fs.String("path-cap", "off", "attacker-walk recording per run: off (default; rows never render walks), full, or N to keep the first N locations")
 	seed := fs.Uint64("seed", 1, "base random seed")
@@ -80,7 +83,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *stratArg, *countArg, *sharedArg, *lossArg, *collArg)
+	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *stratArg, *countArg, *sharedArg, *lossArg, *collArg, *faultsArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
 		return 2
@@ -261,7 +264,7 @@ func resolveFormat(format, out string) string {
 	return "jsonl"
 }
 
-func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts, shared, losses, collisions string) (campaign.Spec, error) {
+func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts, shared, losses, collisions, faults string) (campaign.Spec, error) {
 	var spec campaign.Spec
 	var err error
 	if spec.GridSizes, err = parseInts(sizes); err != nil {
@@ -288,6 +291,7 @@ func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts,
 	if spec.Collisions, err = parseBools(collisions); err != nil {
 		return spec, fmt.Errorf("-collisions: %w", err)
 	}
+	spec.Faults = splitList(faults)
 	return spec, nil
 }
 

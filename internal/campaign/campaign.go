@@ -32,6 +32,7 @@ import (
 	"slpdas/internal/attacker"
 	"slpdas/internal/core"
 	"slpdas/internal/experiment"
+	"slpdas/internal/fault"
 	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
 	"slpdas/internal/topo"
@@ -83,6 +84,13 @@ type Spec struct {
 	LossModels []string
 	// Collisions is the receiver-side collision axis. Default {false}.
 	Collisions []bool
+	// Faults is the fault-injection axis: specs in fault.Parse grammar
+	// ("none", "crash:<rate>", "churn:<rate>:<mttr>", "link:<rate>",
+	// "blackout:<r>@<p>"). Each cell's plan is minted deterministically
+	// from the spec and the cell's per-repeat seed. Default {"none"},
+	// which keeps cell indices and seeds of fault-free campaigns
+	// identical to builds that predate the axis.
+	Faults []string
 
 	// Repeats is the number of independent simulations per cell.
 	// Default 10.
@@ -201,6 +209,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Collisions) == 0 {
 		s.Collisions = []bool{false}
 	}
+	if len(s.Faults) == 0 {
+		s.Faults = []string{"none"}
+	}
 	if s.Repeats == 0 {
 		s.Repeats = 10
 	}
@@ -231,6 +242,7 @@ type Cell struct {
 	SharedHistory  bool
 	LossModel      string
 	Collisions     bool
+	Faults         string // canonical fault.Spec string ("none" = fault-free)
 	Repeats        int
 	BaseSeed       uint64 // repeat r runs on BaseSeed + r
 	PathCap        int    // Spec.PathCap semantics (0 = recording off)
@@ -242,7 +254,7 @@ func (c Cell) config() (core.Config, error) {
 		Strategy:      c.Strategy,
 		Count:         c.AttackerCount,
 		SharedHistory: c.SharedHistory,
-	}, c.LossModel, c.Collisions)
+	}, c.LossModel, c.Collisions, c.Faults)
 	if err != nil {
 		return core.Config{}, err
 	}
@@ -274,10 +286,11 @@ type AttackerSetup struct {
 }
 
 // BuildConfig maps one cell's coordinates — protocol name, search
-// distance, attacker setup, loss model, collisions — onto a validated
-// core.Config. It is the single protocol-name switch shared by the
-// campaign engine and the slpdas facade.
-func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool) (core.Config, error) {
+// distance, attacker setup, loss model, collisions, fault spec — onto a
+// validated core.Config. It is the single protocol-name switch shared by
+// the campaign engine and the slpdas facade. faults uses the fault.Parse
+// grammar; "" and "none" both mean fault-free.
+func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool, faults string) (core.Config, error) {
 	fam, err := protocol.ByName(protoName)
 	if err != nil {
 		return core.Config{}, fmt.Errorf("campaign: %w", err)
@@ -301,6 +314,11 @@ func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossMo
 		return core.Config{}, err
 	}
 	cfg.Loss = loss
+	fs, err := fault.Parse(faults)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("campaign: %w", err)
+	}
+	cfg.Faults = fs
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}
@@ -309,12 +327,23 @@ func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossMo
 
 // Expand materialises the job matrix: the Cartesian product of all axes,
 // with defaults applied, in a deterministic order (topology outermost,
-// collisions innermost). Repeats and the per-cell seed ranges are fixed
-// here, so Expand alone determines every seed a campaign will run.
+// faults innermost). Repeats and the per-cell seed ranges are fixed
+// here, so Expand alone determines every seed a campaign will run. Fault
+// axis values are canonicalised through fault.Parse/String here, so cells
+// (and rows, and resume verification) always carry the canonical spelling
+// regardless of how the axis was written.
 func (s Spec) Expand() ([]Cell, error) {
 	s = s.withDefaults()
 	if s.Repeats < 0 {
 		return nil, fmt.Errorf("campaign: repeats must be positive, got %d", s.Repeats)
+	}
+	faultAxis := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		fs, err := fault.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		faultAxis[i] = fs.String()
 	}
 	var cells []Cell
 	for _, top := range s.topologyAxis() {
@@ -329,22 +358,25 @@ func (s Spec) Expand() ([]Cell, error) {
 							for _, sharedH := range s.SharedHistories {
 								for _, loss := range s.LossModels {
 									for _, coll := range s.Collisions {
-										idx := len(cells)
-										cells = append(cells, Cell{
-											Index:          idx,
-											Topology:       top,
-											Protocol:       proto,
-											SearchDistance: sd,
-											Attacker:       atk,
-											Strategy:       strat,
-											AttackerCount:  count,
-											SharedHistory:  sharedH,
-											LossModel:      loss,
-											Collisions:     coll,
-											Repeats:        s.Repeats,
-											BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
-											PathCap:        s.PathCap,
-										})
+										for _, flt := range faultAxis {
+											idx := len(cells)
+											cells = append(cells, Cell{
+												Index:          idx,
+												Topology:       top,
+												Protocol:       proto,
+												SearchDistance: sd,
+												Attacker:       atk,
+												Strategy:       strat,
+												AttackerCount:  count,
+												SharedHistory:  sharedH,
+												LossModel:      loss,
+												Collisions:     coll,
+												Faults:         flt,
+												Repeats:        s.Repeats,
+												BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
+												PathCap:        s.PathCap,
+											})
+										}
 									}
 								}
 							}

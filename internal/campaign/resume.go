@@ -179,6 +179,16 @@ func cellRowMismatch(c Cell, r Row) string {
 	if wantAttackers <= 0 {
 		wantAttackers = 1
 	}
+	// Files written before the fault axis existed carry no faults field;
+	// those campaigns were all fault-free, so "" matches the default axis.
+	gotFaults := r.Faults
+	if gotFaults == "" {
+		gotFaults = "none"
+	}
+	wantFaults := c.Faults
+	if wantFaults == "" {
+		wantFaults = "none"
+	}
 	type coord struct {
 		name string
 		got  any
@@ -197,6 +207,7 @@ func cellRowMismatch(c Cell, r Row) string {
 		{"shared_history", r.SharedHistory, c.SharedHistory},
 		{"loss_model", r.LossModel, c.LossModel},
 		{"collisions", r.Collisions, c.Collisions},
+		{"faults", gotFaults, wantFaults},
 		{"repeats", r.Repeats, c.Repeats},
 		{"base_seed", r.BaseSeed, c.BaseSeed},
 	} {
@@ -271,6 +282,7 @@ func csvCoordRow(rec []string) (Row, error) {
 			err = fmt.Errorf("bad %s %q", csvHeader[15], rec[15])
 		}
 	}
+	r.Faults = rec[29]
 	return r, err
 }
 

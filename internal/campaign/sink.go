@@ -52,6 +52,22 @@ type Row struct {
 	ChangedNodes       float64 `json:"changed_nodes"`
 	SourceDeliveries   float64 `json:"source_deliveries"`
 	DeliveryLatency    float64 `json:"delivery_latency_slots"`
+
+	// Trailing columns added with the fault-injection axis. They sit after
+	// every pre-existing field (including the Faults coordinate, which
+	// would otherwise live with its fellow coordinates above) so that
+	// pre-axis output files differ from regenerated ones only in appended
+	// columns. Omitted in old files, Faults decodes as "" — resume
+	// verification normalises that to "none".
+	Faults            string  `json:"faults"`
+	MeanAttackerMoves float64 `json:"mean_attacker_moves"`
+	NodesFailed       float64 `json:"nodes_failed"`
+	NodesRecovered    float64 `json:"nodes_recovered"`
+	RepairPeriods     float64 `json:"repair_periods"`
+	DeliveryBefore    float64 `json:"delivery_ratio_before"`
+	DeliveryDuring    float64 `json:"delivery_ratio_during"`
+	DeliveryAfter     float64 `json:"delivery_ratio_after"`
+	PartitionRatio    float64 `json:"partition_ratio"`
 }
 
 // fin maps the NaN of an empty sample to 0 and clamps ±Inf to
@@ -82,10 +98,22 @@ func (r Row) sanitize() Row {
 	r.ChangedNodes = fin(r.ChangedNodes)
 	r.SourceDeliveries = fin(r.SourceDeliveries)
 	r.DeliveryLatency = fin(r.DeliveryLatency)
+	r.MeanAttackerMoves = fin(r.MeanAttackerMoves)
+	r.NodesFailed = fin(r.NodesFailed)
+	r.NodesRecovered = fin(r.NodesRecovered)
+	r.RepairPeriods = fin(r.RepairPeriods)
+	r.DeliveryBefore = fin(r.DeliveryBefore)
+	r.DeliveryDuring = fin(r.DeliveryDuring)
+	r.DeliveryAfter = fin(r.DeliveryAfter)
+	r.PartitionRatio = fin(r.PartitionRatio)
 	return r
 }
 
 func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
+	faults := c.Faults
+	if faults == "" {
+		faults = "none"
+	}
 	return Row{
 		Cell:           c.Index,
 		Topology:       c.Topology.Label(),
@@ -117,6 +145,16 @@ func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
 		ChangedNodes:       agg.ChangedNodes.Mean,
 		SourceDeliveries:   agg.SourceDeliveries.Mean,
 		DeliveryLatency:    agg.DeliveryLatency.Mean,
+
+		Faults:            faults,
+		MeanAttackerMoves: agg.AttackerMoves.Mean,
+		NodesFailed:       agg.NodesFailed.Mean,
+		NodesRecovered:    agg.NodesRecovered.Mean,
+		RepairPeriods:     agg.RepairPeriods.Mean,
+		DeliveryBefore:    agg.DeliveryBefore.Mean,
+		DeliveryDuring:    agg.DeliveryDuring.Mean,
+		DeliveryAfter:     agg.DeliveryAfter.Mean,
+		PartitionRatio:    fin(agg.Partitions.Value()),
 	}
 }
 
@@ -215,6 +253,9 @@ var csvHeader = []string{
 	"capture_ratio_ci95", "mean_capture_periods", "schedule_valid_ratio",
 	"control_messages", "control_bytes", "total_messages", "changed_nodes",
 	"source_deliveries", "delivery_latency_slots",
+	"faults", "mean_attacker_moves", "nodes_failed", "nodes_recovered",
+	"repair_periods", "delivery_ratio_before", "delivery_ratio_during",
+	"delivery_ratio_after", "partition_ratio",
 }
 
 func csvRecord(r Row) []string {
@@ -232,6 +273,9 @@ func csvRecord(r Row) []string {
 		f(r.ScheduleValidRatio), f(r.ControlMessages), f(r.ControlBytes),
 		f(r.TotalMessages), f(r.ChangedNodes), f(r.SourceDeliveries),
 		f(r.DeliveryLatency),
+		r.Faults, f(r.MeanAttackerMoves), f(r.NodesFailed), f(r.NodesRecovered),
+		f(r.RepairPeriods), f(r.DeliveryBefore), f(r.DeliveryDuring),
+		f(r.DeliveryAfter), f(r.PartitionRatio),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"slpdas/internal/attacker"
+	"slpdas/internal/fault"
 	"slpdas/internal/mac"
 	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
@@ -113,6 +114,15 @@ type Config struct {
 	// walk is tens of thousands of entries per attacker per run; campaigns
 	// never render walks and disable recording by default.
 	PathCap int
+	// Faults is the deterministic fault-injection plan specification: node
+	// crashes, churn (crash + rejoin), persistent link failures or a region
+	// blackout, expanded into timed events as a pure function of
+	// (spec, seed) on a dedicated named stream at Reset. The zero value
+	// injects nothing and draws nothing, so fault-free runs are
+	// byte-identical to builds that predate the subsystem. Unlike the
+	// legacy FailNode hook, the plan is part of the config and rides the
+	// arena Reset path — no re-injection after Reset needed.
+	Faults fault.Spec
 }
 
 // PathRecordingOff is the Config.PathCap value that disables attacker
@@ -195,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if c.PathCap < PathRecordingOff {
 		return fmt.Errorf("core: path cap must be >= %d (off), got %d", PathRecordingOff, c.PathCap)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

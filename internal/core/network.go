@@ -8,6 +8,7 @@ import (
 
 	"slpdas/internal/attacker"
 	"slpdas/internal/des"
+	"slpdas/internal/fault"
 	"slpdas/internal/gcn"
 	"slpdas/internal/mac"
 	"slpdas/internal/protocol"
@@ -81,6 +82,22 @@ type Network struct {
 	deliveryLatencies []int
 
 	failAt map[topo.NodeID]time.Duration
+
+	// Fault-injection state. faultPlan is minted at Reset from cfg.Faults
+	// on the dedicated "fault" stream; faultsActive is latched at setup
+	// when the plan or the legacy failAt schedule injects anything, and
+	// gates every degradation-tracking branch so fault-free runs replay
+	// the pre-fault event order exactly.
+	faultPlan      *fault.Plan
+	faultsActive   bool
+	nodesFailed    int
+	nodesRecovered int
+	firstFaultAt   time.Duration
+	lastFaultAt    time.Duration
+	lastRepairAt   time.Duration
+	// seqDelivered tracks which source sequence numbers (period indices)
+	// reached the sink, for the before/during/after delivery ratios.
+	seqDelivered []bool
 
 	// Wire scratch: one decoder for the receive path and one outgoing
 	// message per type for the send path. The simulation is
@@ -168,6 +185,9 @@ func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64
 			},
 			nd.fireDataSlot,
 		)
+		// A crashed node's periods pass in silence; the period count keeps
+		// advancing so sequence numbers stay wall-clock aligned (see mac).
+		net.tasks[id].SetAliveCheck(func() bool { return !nd.dead })
 	}
 
 	if err := net.Reset(cfg, seed); err != nil {
@@ -248,6 +268,32 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 	n.deliveryLatencies = n.deliveryLatencies[:0]
 	clear(n.failAt)
 
+	// Mint the fault plan for this (config, seed). The expansion draws
+	// only from its own named stream — and only when the spec is non-empty
+	// — so it cannot perturb any other consumer of the run seed.
+	n.faultPlan = nil
+	if !cfg.Faults.Empty() {
+		plan, err := fault.New(cfg.Faults, fault.Env{
+			Graph:     n.g,
+			Sink:      n.sink,
+			Source:    n.source,
+			DataStart: n.dataStart,
+			Period:    n.timing.PeriodDuration(),
+			Horizon:   n.horizon(),
+		}, seed)
+		if err != nil {
+			return err
+		}
+		n.faultPlan = plan
+	}
+	n.faultsActive = false
+	n.nodesFailed = 0
+	n.nodesRecovered = 0
+	n.firstFaultAt = 0
+	n.lastFaultAt = 0
+	n.lastRepairAt = 0
+	n.seqDelivered = n.seqDelivered[:0]
+
 	params := cfg.Attacker
 	params.Start = n.sink
 	var shared *attacker.HistoryStore
@@ -273,10 +319,66 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 	return nil
 }
 
-// FailNode schedules node n to crash at the given absolute time (failure
-// injection). Must be called before Run.
-func (n *Network) FailNode(id topo.NodeID, at time.Duration) {
+// horizon is the instant the run ends: the capture deadline plus one
+// period of settle margin (see Run). No fault event may land after it.
+func (n *Network) horizon() time.Duration {
+	return n.deadline + n.timing.PeriodDuration()
+}
+
+// FailNode schedules node id to crash at the given absolute time (legacy
+// single-node failure injection; prefer Config.Faults, which rides the
+// arena Reset path). Must be called after Reset and before Run; the
+// schedule is cleared by Reset. The node id is validated against the
+// topology — a nonexistent id used to schedule a silent no-op — and the
+// time against the run horizon.
+func (n *Network) FailNode(id topo.NodeID, at time.Duration) error {
+	if !n.g.Valid(id) {
+		return fmt.Errorf("core: FailNode: node %d does not exist (topology has %d nodes)", id, n.g.Len())
+	}
+	if at > n.horizon() {
+		return fmt.Errorf("core: FailNode: failure at %v is after the run horizon %v", at, n.horizon())
+	}
 	n.failAt[id] = at
+	return nil
+}
+
+// crashNode fails a node mid-run: radio silent, GCN computation stopped,
+// TDMA periods skipped. Idempotent — a node already down stays down.
+func (n *Network) crashNode(id topo.NodeID) {
+	nd := n.nodes[id]
+	if nd.dead {
+		return
+	}
+	nd.dead = true
+	n.nodesFailed++
+	n.medium.DisableNode(id)
+	nd.prc.Fail()
+}
+
+// recoverNode rejoins a crashed node with blank volatile state, like a
+// reboot from ROM: the protocol state is re-zeroed (the per-node stream
+// replays from its seed, keeping the run deterministic), the radio
+// re-enabled, and neighbour discovery re-run so the node can re-acquire
+// hop, parent and slot from its neighbours' disseminations.
+func (n *Network) recoverNode(id topo.NodeID) {
+	nd := n.nodes[id]
+	if !nd.dead {
+		return
+	}
+	n.nodesRecovered++
+	nd.reset(n.seed)
+	nd.prc.Revive()
+	n.medium.EnableNode(id)
+	if id == n.sink {
+		nd.sinkInit()
+		n.engine.Kickstart(nd.prc)
+	}
+	cfg := n.cfg
+	boot := nd.jitterDelay(cfg.BootJitter)
+	for k := 0; k < cfg.NeighbourDiscoveryPeriods; k++ {
+		delay := boot + time.Duration(k)*cfg.DisseminationPeriod + nd.jitterDelay(cfg.DisseminationPeriod/2)
+		n.sim.ScheduleAfter(delay, nd.helloFn)
+	}
 }
 
 // Graph returns the topology.
@@ -347,6 +449,13 @@ func (n *Network) recordSourceDelivery(seq uint32) {
 	if lat >= 0 {
 		n.deliveryLatencies = append(n.deliveryLatencies, lat)
 	}
+	// Unique-sequence tracking for the degradation windows (fault runs
+	// only): sequence numbers are origination period indices.
+	if n.faultsActive {
+		if p := int(seq); p < len(n.seqDelivered) {
+			n.seqDelivered[p] = true
+		}
+	}
 }
 
 // setup schedules boots, discovery, dissemination, search, data phase and
@@ -393,8 +502,51 @@ func (n *Network) setup() error {
 	slices.Sort(failIDs)
 	for _, id := range failIDs {
 		id := id
-		if _, err := n.sim.Schedule(n.failAt[id], func() { n.medium.DisableNode(id) }); err != nil {
+		if _, err := n.sim.Schedule(n.failAt[id], func() { n.crashNode(id) }); err != nil {
 			return err
+		}
+	}
+
+	// Fault plan: schedule every event of the deterministic plan minted at
+	// Reset, and latch the fault window for the degradation metrics.
+	if !n.faultPlan.Empty() {
+		for _, ev := range n.faultPlan.Events {
+			ev := ev
+			var fn func()
+			switch ev.Op {
+			case fault.OpCrash:
+				fn = func() { n.crashNode(ev.Node) }
+			case fault.OpRecover:
+				fn = func() { n.recoverNode(ev.Node) }
+			case fault.OpLinkDown:
+				fn = func() { n.medium.DisableLink(ev.Node, ev.Peer) }
+			default:
+				return fmt.Errorf("core: fault plan holds unknown op %v", ev.Op)
+			}
+			if _, err := n.sim.Schedule(ev.At, fn); err != nil {
+				return err
+			}
+		}
+	}
+	if !n.faultPlan.Empty() || len(failIDs) > 0 {
+		n.faultsActive = true
+		first, last := n.faultPlan.Window()
+		for _, id := range failIDs {
+			at := n.failAt[id]
+			if first == 0 || at < first {
+				first = at
+			}
+			if at > last {
+				last = at
+			}
+		}
+		n.firstFaultAt, n.lastFaultAt = first, last
+		periods := int(math.Ceil(n.delta)) + 2
+		if cap(n.seqDelivered) >= periods {
+			n.seqDelivered = n.seqDelivered[:periods]
+			clear(n.seqDelivered)
+		} else {
+			n.seqDelivered = make([]bool, periods)
 		}
 	}
 	return nil
@@ -623,5 +775,84 @@ func (n *Network) collect() *Result {
 	res.StrongViolations = len(schedule.CheckStrongDAS(g, a))
 	res.CollisionViolations = len(schedule.CheckNonColliding(g, a))
 	res.RangeViolations = len(schedule.CheckSlotRange(g, a, n.cfg.Slots))
+
+	// Degradation verdicts (fault runs only; fault-free runs report the
+	// zero values and RepairPeriods = -1).
+	res.RepairPeriods = -1
+	if n.faultsActive {
+		res.NodesFailed = n.nodesFailed
+		res.NodesRecovered = n.nodesRecovered
+		if n.lastRepairAt > n.firstFaultAt {
+			res.RepairPeriods = float64(n.lastRepairAt-n.firstFaultAt) / float64(n.timing.PeriodDuration())
+		}
+		res.PartitionDetected = n.partitioned()
+		res.DeliveryBefore, res.DeliveryDuring, res.DeliveryAfter = n.deliveryWindows(res.PeriodsRun)
+	}
 	return res
+}
+
+// deliveryWindows splits the unique-sequence delivery record at the fault
+// window [firstFaultAt, lastFaultAt] and returns the per-window delivery
+// ratios: sequences delivered / data periods originated in the window.
+func (n *Network) deliveryWindows(periodsRun float64) (before, during, after float64) {
+	total := int(periodsRun)
+	if total > len(n.seqDelivered) {
+		total = len(n.seqDelivered)
+	}
+	period := n.timing.PeriodDuration()
+	fp := int((n.firstFaultAt - n.dataStart) / period)
+	if fp < 0 {
+		fp = 0
+	}
+	lp := int((n.lastFaultAt - n.dataStart) / period)
+	if lp < fp {
+		lp = fp
+	}
+	ratio := func(lo, hi int) float64 {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > total {
+			hi = total
+		}
+		if hi <= lo {
+			return 0
+		}
+		got := 0
+		for p := lo; p < hi; p++ {
+			if n.seqDelivered[p] {
+				got++
+			}
+		}
+		return float64(got) / float64(hi-lo)
+	}
+	return ratio(0, fp), ratio(fp, lp+1), ratio(lp+1, total)
+}
+
+// partitioned reports whether source and sink ended the run separated:
+// one of them dead, or no path of alive nodes over intact links between
+// them. Evaluated once at collect — a cold path.
+func (n *Network) partitioned() bool {
+	if n.nodes[n.sink].dead || n.nodes[n.source].dead {
+		return true
+	}
+	visited := make([]bool, n.g.Len())
+	queue := make([]topo.NodeID, 0, 64)
+	visited[n.sink] = true
+	queue = append(queue, n.sink)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == n.source {
+			return false
+		}
+		for _, w := range n.g.Neighbors(v) {
+			if visited[w] || n.nodes[w].dead || n.medium.LinkDisabled(v, w) {
+				continue
+			}
+			visited[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return true
 }

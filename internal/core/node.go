@@ -102,6 +102,11 @@ type node struct {
 	pendingSeq    uint32
 	pendingCount  uint16
 	dataPeriod    int
+
+	// dead marks a crashed node (fault injection): radio silent via the
+	// medium, computation stopped via the GCN process, and the TDMA slot
+	// task skips its periods through the alive check.
+	dead bool
 }
 
 func newNode(id topo.NodeID, net *Network) *node {
@@ -155,6 +160,7 @@ func (n *node) reset(seed uint64) {
 	n.pendingSeq = 0
 	n.pendingCount = 0
 	n.dataPeriod = 0
+	n.dead = false
 }
 
 func (n *node) isSink() bool { return n.id == n.net.sink }
@@ -166,6 +172,14 @@ func (n *node) install() {
 	// rcv⟨HELLO⟩: neighbour discovery.
 	p.AddReceive("rcvHello", matchType(wire.TypeHello), func(sender topo.NodeID, _ gcn.Message) {
 		n.addNeighbour(sender)
+		// A HELLO during the data phase is a recovered node re-running
+		// discovery (fault injection): neighbours holding schedule state
+		// answer with a relay budget so the rejoiner re-learns hop/slot
+		// structure and can re-acquire a slot. Gated on faultsActive so
+		// fault-free runs replay the pre-fault event order exactly.
+		if n.net.faultsActive && n.net.sim.Now() >= n.net.dataStart && (n.isSink() || n.slot != noValue) {
+			n.grantRelayBudget()
+		}
 	})
 
 	// receiveN :: rcv⟨DISSEM, 1, j, N, p⟩ (Figure 2).
@@ -469,6 +483,12 @@ func (n *node) setSlot(s int32) {
 	n.slot = s
 	n.version++
 	n.ninfo.set(n.id, info{hop: n.hop, slot: n.slot, version: n.version})
+	// Schedule-repair clock (fault injection): any slot change after the
+	// first fault is self-healing activity. A plain field write — no event
+	// or random draw — so fault-free runs are unaffected.
+	if n.net.faultsActive && n.net.firstFaultAt > 0 && n.net.sim.Now() >= n.net.firstFaultAt {
+		n.net.lastRepairAt = n.net.sim.Now()
+	}
 	n.resetDissemination()
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"slpdas/internal/fault"
 	"slpdas/internal/topo"
 )
 
@@ -43,6 +44,8 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 	cfgTeam.Attacker.H = 2
 	cfgTeam.SharedHistory = true
 	cfgTeam.Strategy = "unvisited-first"
+	cfgChurn := DefaultSLP(2)
+	cfgChurn.Faults = fault.Spec{Kind: fault.Churn, Rate: 0.2, MTTR: 2}
 
 	// The sequence deliberately alternates protocol, collision model,
 	// attacker team shape and seed so each Reset must rewind state the
@@ -55,7 +58,8 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 		{"slp/seed1", cfgSLP, 1},
 		{"plain-collisions/seed2", cfgPlain, 2},
 		{"team/seed3", cfgTeam, 3},
-		{"slp/seed1 again", cfgSLP, 1}, // exact replay of run 0
+		{"churn/seed4", cfgChurn, 4},
+		{"slp/seed1 again", cfgSLP, 1}, // exact replay of run 0, after a faulted run
 	}
 
 	net, err := NewNetwork(g, sink, source, sequence[0].cfg, sequence[0].seed)
@@ -83,7 +87,7 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 				step.name, arenaResults[i], fresh)
 		}
 	}
-	if !reflect.DeepEqual(arenaResults[0], arenaResults[3]) {
+	if !reflect.DeepEqual(arenaResults[0], arenaResults[4]) {
 		t.Errorf("replaying (cfg, seed) on the same network diverged:\nfirst: %+v\nagain: %+v",
 			arenaResults[0], arenaResults[3])
 	}

@@ -63,6 +63,29 @@ type Result struct {
 	// early on capture, so raw DATA counts are not comparable across
 	// runs; divide by this).
 	PeriodsRun float64
+
+	// --- Fault-injection degradation (Config.Faults / FailNode runs) ---
+
+	// NodesFailed and NodesRecovered count crash and rejoin events that
+	// actually fired. Both zero for fault-free runs.
+	NodesFailed    int
+	NodesRecovered int
+	// RepairPeriods is the schedule self-healing time: from the first
+	// fault to the last slot change anywhere in the network, in TDMA
+	// periods. -1 when no repair activity was observed — always -1 for
+	// fault-free runs, so aggregation can exclude them like latency.
+	RepairPeriods float64
+	// Delivery ratios: unique source sequence numbers reaching the sink
+	// divided by the data periods in each window, split at the fault
+	// window [first event, last event]. All zero for fault-free runs.
+	DeliveryBefore float64
+	DeliveryDuring float64
+	DeliveryAfter  float64
+	// PartitionDetected reports that at the end of the run the source
+	// could not reach the sink: one of them dead, or no path of alive
+	// nodes over intact links between them. The run still terminates
+	// cleanly with this verdict instead of erroring or spinning.
+	PartitionDetected bool
 }
 
 // DataMessagesPerPeriod normalises data-plane traffic by simulated

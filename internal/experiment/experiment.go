@@ -116,6 +116,9 @@ type Accumulator struct {
 	KeepResults bool
 
 	capPeriods, ctrlMsgs, ctrlBytes, totMsgs, changed, deliveries, latency series
+	attackerMoves                                                          series
+	nodesFailed, nodesRecovered, repair                                    series
+	delivBefore, delivDuring, delivAfter                                   series
 	byType                                                                 map[wire.Type]*series
 }
 
@@ -190,6 +193,27 @@ func (a *Accumulator) Add(r *core.Result) {
 	if l := r.MeanDeliveryLatency(); l >= 0 {
 		a.latency.add(l, a.KeepResults)
 	}
+	if len(r.AttackerMoves) > 0 {
+		var moves int
+		for _, m := range r.AttackerMoves {
+			moves += m
+		}
+		a.attackerMoves.add(float64(moves)/float64(len(r.AttackerMoves)), a.KeepResults)
+	}
+	a.nodesFailed.add(float64(r.NodesFailed), a.KeepResults)
+	a.nodesRecovered.add(float64(r.NodesRecovered), a.KeepResults)
+	// RepairPeriods is -1 when no repair was observed (always, for
+	// fault-free runs); like latency, only observed repairs are averaged.
+	if r.RepairPeriods >= 0 {
+		a.repair.add(r.RepairPeriods, a.KeepResults)
+	}
+	a.delivBefore.add(r.DeliveryBefore, a.KeepResults)
+	a.delivDuring.add(r.DeliveryDuring, a.KeepResults)
+	a.delivAfter.add(r.DeliveryAfter, a.KeepResults)
+	a.agg.Partitions.Trials++
+	if r.PartitionDetected {
+		a.agg.Partitions.Successes++
+	}
 	//lint:ignore mapiter independent per-type series updates, order-free
 	for t, s := range r.Messages {
 		bt := a.byType[t]
@@ -210,6 +234,13 @@ func (a *Accumulator) Finalize() *Aggregate {
 	a.agg.ChangedNodes = a.changed.summary(a.KeepResults)
 	a.agg.SourceDeliveries = a.deliveries.summary(a.KeepResults)
 	a.agg.DeliveryLatency = a.latency.summary(a.KeepResults)
+	a.agg.AttackerMoves = a.attackerMoves.summary(a.KeepResults)
+	a.agg.NodesFailed = a.nodesFailed.summary(a.KeepResults)
+	a.agg.NodesRecovered = a.nodesRecovered.summary(a.KeepResults)
+	a.agg.RepairPeriods = a.repair.summary(a.KeepResults)
+	a.agg.DeliveryBefore = a.delivBefore.summary(a.KeepResults)
+	a.agg.DeliveryDuring = a.delivDuring.summary(a.KeepResults)
+	a.agg.DeliveryAfter = a.delivAfter.summary(a.KeepResults)
 	//lint:ignore mapiter map-to-map copy keyed by the same key, order-free
 	for t, s := range a.byType {
 		a.agg.MessagesByType[t] = s.summary(a.KeepResults)
@@ -245,6 +276,23 @@ type Aggregate struct {
 	// Convergecast health.
 	SourceDeliveries metrics.Summary
 	DeliveryLatency  metrics.Summary
+
+	// Attacker mobility: per-run mean relocation count across the team
+	// (from Result.AttackerMoves, which survives even with walk recording
+	// capped or off).
+	AttackerMoves metrics.Summary
+
+	// Fault-injection degradation (zero-valued summaries for fault-free
+	// cells; RepairPeriods averages only runs that observed a repair).
+	NodesFailed    metrics.Summary
+	NodesRecovered metrics.Summary
+	RepairPeriods  metrics.Summary
+	DeliveryBefore metrics.Summary
+	DeliveryDuring metrics.Summary
+	DeliveryAfter  metrics.Summary
+	// Partitions is the fraction of runs that ended source↔sink
+	// partitioned (one of them dead, or no alive path between them).
+	Partitions metrics.Proportion
 
 	Failures int // runs that returned an error
 	Results  []*core.Result

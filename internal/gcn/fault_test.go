@@ -1,0 +1,84 @@
+package gcn
+
+import (
+	"testing"
+	"time"
+
+	"slpdas/internal/des"
+	"slpdas/internal/topo"
+)
+
+// TestFailStopsComputation: a crashed process executes no actions — not
+// for queued messages, not for armed timers, not for newly delivered
+// frames — until Revive.
+func TestFailStopsComputation(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	handled := 0
+	p.AddReceive("rcv", nil, func(sender topo.NodeID, msg Message) { handled++ })
+	fired := 0
+	tm := p.NewTimer("tick", func() { fired++ })
+
+	// Queue a message without stimulating, arm the timer, then crash.
+	p.inbox = append(p.inbox, envelope{sender: 2, msg: "queued"})
+	tm.Set(time.Second)
+	p.Fail()
+
+	if !p.Dead() {
+		t.Fatal("Dead() false after Fail")
+	}
+	if p.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d after Fail, want 0 (volatile state dies)", p.QueueLen())
+	}
+	if tm.Pending() {
+		t.Error("timer still armed after Fail")
+	}
+
+	e.Deliver(p, 2, "while dead")
+	if p.QueueLen() != 0 {
+		t.Errorf("Deliver enqueued %d messages on a dead process", p.QueueLen())
+	}
+	e.Kickstart(p)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if handled != 0 || fired != 0 {
+		t.Errorf("dead process ran actions: handled=%d fired=%d", handled, fired)
+	}
+}
+
+// TestReviveRestartsProcess: after Revive the process handles traffic
+// again, starting from an empty channel like a reboot.
+func TestReviveRestartsProcess(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	handled := 0
+	p.AddReceive("rcv", nil, func(sender topo.NodeID, msg Message) { handled++ })
+
+	p.Fail()
+	e.Deliver(p, 2, "lost")
+	p.Revive()
+	if p.Dead() {
+		t.Fatal("Dead() true after Revive")
+	}
+	e.Deliver(p, 2, "heard")
+	if handled != 1 {
+		t.Errorf("handled %d messages after Revive, want exactly the post-revival one", handled)
+	}
+}
+
+// TestResetClearsDead: dead is run state and must not leak through the
+// arena Reset path.
+func TestResetClearsDead(t *testing.T) {
+	sim := des.New()
+	e := NewEngine(sim, 0)
+	p := e.NewProcess(1)
+	p.AddReceive("rcv", nil, func(topo.NodeID, Message) {})
+	p.Fail()
+	e.Reset()
+	if p.Dead() {
+		t.Error("dead flag survived Reset")
+	}
+}

@@ -105,6 +105,9 @@ type Process struct {
 	// Dropped counts head-of-channel messages no receive action matched.
 	dropped uint64
 	failed  error
+	// dead marks a crashed process (fault injection): it executes no
+	// actions and accepts no messages until Revive.
+	dead bool
 }
 
 // ID returns the process identifier.
@@ -119,6 +122,33 @@ func (p *Process) Err() error { return p.failed }
 // QueueLen returns the number of undelivered messages in the channel.
 func (p *Process) QueueLen() int { return len(p.inbox) - p.inboxHead }
 
+// Fail crashes the process: its channel variable is emptied, every timer
+// is disarmed, and until Revive it executes no actions and silently drops
+// anything Delivered to it. Volatile state dies with the node; the action
+// list — the program in ROM — survives for a later Revive.
+func (p *Process) Fail() {
+	p.dead = true
+	for i := range p.inbox {
+		p.inbox[i] = envelope{}
+	}
+	p.inbox = p.inbox[:0]
+	p.inboxHead = 0
+	for _, a := range p.actions {
+		if a.kind == kindTimeout {
+			a.timer.Stop()
+		}
+	}
+}
+
+// Revive clears the dead flag set by Fail. The caller is responsible for
+// re-initialising protocol state and re-stimulating the process; the
+// runtime restarts it with an empty channel and no armed timers, like a
+// node rebooting from ROM.
+func (p *Process) Revive() { p.dead = false }
+
+// Dead reports whether the process is crashed (Fail without Revive).
+func (p *Process) Dead() bool { return p.dead }
+
 // Reset rewinds the process for a fresh run: the channel variable is
 // emptied, drop/failure accounting cleared and every timer disarmed. The
 // action list — the program — is preserved, so one wired process serves
@@ -132,6 +162,7 @@ func (p *Process) Reset() {
 	p.inboxHead = 0
 	p.dropped = 0
 	p.failed = nil
+	p.dead = false
 	for _, a := range p.actions {
 		if a.kind == kindTimeout {
 			a.timer.event = des.Event{}
@@ -203,6 +234,9 @@ func (e *Engine) NewProcess(id topo.NodeID) *Process {
 //
 //slp:hotpath
 func (e *Engine) Deliver(p *Process, sender topo.NodeID, msg Message) {
+	if p.dead {
+		return
+	}
 	if p.inboxHead == len(p.inbox) {
 		// Queue is drained: rewind so the backing array is reused.
 		p.inbox = p.inbox[:0]
@@ -239,7 +273,7 @@ func (e *Engine) Err() error {
 //
 //slp:hotpath
 func (e *Engine) stimulate(p *Process) {
-	if p.failed != nil {
+	if p.failed != nil || p.dead {
 		return
 	}
 	for steps := 0; ; steps++ {

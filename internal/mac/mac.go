@@ -66,11 +66,17 @@ func (t Timing) ValidSlot(slot int) bool {
 // two pooled events and zero allocations, where the closure-based version
 // allocated two closures per node per period.
 type SlotTask struct {
-	sim     *des.Simulator
-	timing  Timing
-	epoch   time.Duration
-	slot    func() int
-	fire    func(period int)
+	sim    *des.Simulator
+	timing Timing
+	epoch  time.Duration
+	slot   func() int
+	fire   func(period int)
+	// alive, when non-nil, is consulted at each period boundary and again
+	// at the slot offset: a dead node's period passes in silence while the
+	// period count keeps advancing, so sequence numbers stay aligned with
+	// wall-clock periods across a crash and recovery. Nil means always
+	// alive — the pre-fault-injection behaviour.
+	alive   func() bool
 	stopped bool
 	period  int
 	fireEv  fireEvent
@@ -86,7 +92,7 @@ type fireEvent struct {
 
 //slp:hotpath
 func (f *fireEvent) Run() {
-	if !f.st.stopped {
+	if !f.st.stopped && (f.st.alive == nil || f.st.alive()) {
 		f.st.fire(f.period)
 	}
 }
@@ -132,6 +138,11 @@ func StartSlotTask(sim *des.Simulator, timing Timing, epoch time.Duration, slot 
 // Stop halts the task after the current event.
 func (st *SlotTask) Stop() { st.stopped = true }
 
+// SetAliveCheck installs the liveness probe consulted before each firing
+// (see SlotTask). It is wiring, not run state: install it once alongside
+// the slot and fire callbacks. A nil check means always alive.
+func (st *SlotTask) SetAliveCheck(alive func() bool) { st.alive = alive }
+
 // Period returns the index of the period currently scheduled or running.
 func (st *SlotTask) Period() int { return st.period }
 
@@ -142,10 +153,12 @@ func (st *SlotTask) Run() {
 	if st.stopped {
 		return
 	}
-	s := st.slot()
-	if st.timing.ValidSlot(s) {
-		st.fireEv.period = st.period
-		st.sim.ScheduleRunnerAfter(time.Duration(s)*st.timing.SlotDuration, &st.fireEv)
+	if st.alive == nil || st.alive() {
+		s := st.slot()
+		if st.timing.ValidSlot(s) {
+			st.fireEv.period = st.period
+			st.sim.ScheduleRunnerAfter(time.Duration(s)*st.timing.SlotDuration, &st.fireEv)
+		}
 	}
 	st.period++
 	st.sim.ScheduleRunnerAfter(st.timing.PeriodDuration(), st)

@@ -87,6 +87,10 @@ type Medium struct {
 
 	receivers []Receiver // lint:immutable: registration wiring, rebuilt only when the node set changes
 	disabled  []bool
+	// downLinks holds failed links keyed by packed (min, max) node-ID pair.
+	// Lookups are guarded by len(downLinks) != 0, so the no-link-fault fast
+	// path never touches the map.
+	downLinks map[uint64]bool
 	// observers is kept ordered by id so the scan at each transmission end
 	// visits live observers in registration order — deterministic, and
 	// O(live observers) rather than O(ids ever issued).
@@ -132,12 +136,16 @@ type delivery struct {
 	corrupted bool
 }
 
-// Run implements des.Runner: the frame arrives at d.to.
+// Run implements des.Runner: the frame arrives at d.to. A reception only
+// counts if both endpoints are still up and the link is still intact at
+// the end of the reception window: a sender that died mid-frame stopped
+// keying the carrier, so the tail of its frame never arrives, and a
+// receiver that died mid-frame has no stack left to accept it.
 //
 //slp:hotpath
 func (d *delivery) Run() {
 	m := d.m
-	if !m.disabled[d.to] {
+	if !m.disabled[d.to] && !m.disabled[d.from] && !m.linkDown(d.from, d.to) {
 		if d.corrupted {
 			m.stats.CollisionDrops++
 		} else if recv := m.receivers[d.to]; recv != nil {
@@ -167,11 +175,17 @@ type obsScan struct {
 // not hide the fact that a node keyed up: direction finding works on the
 // carrier, not the payload. The observer set is snapshotted before the
 // callbacks run, so an Overhear that adds or removes observers affects
-// later transmissions, not the one being delivered.
+// later transmissions, not the one being delivered. A sender that died
+// while the frame was on the air stopped keying the carrier, so the
+// transmission never completes and is not observed.
 //
 //slp:hotpath
 func (s *obsScan) Run() {
 	m := s.m
+	if m.disabled[s.from] {
+		m.freeScans = append(m.freeScans, s)
+		return
+	}
 	obs := Observation{At: m.sim.Now(), From: s.from, Pos: s.pos, Bytes: s.bytes}
 	audible := m.g.RadioRange() + 1e-9
 	m.scanScratch = append(m.scanScratch[:0], m.observers...)
@@ -247,6 +261,7 @@ func (m *Medium) Reset(seed uint64, loss LossModel, collisions bool) {
 		m.rxEnd[i] = 0
 		m.rxLatest[i] = nil
 	}
+	clear(m.downLinks)
 	m.observers = m.observers[:0]
 	m.nextObsID = 0
 	m.stats = Stats{}
@@ -261,8 +276,48 @@ func (m *Medium) SetReceiver(n topo.NodeID, r Receiver) {
 // failure-injection experiments.
 func (m *Medium) DisableNode(n topo.NodeID) { m.disabled[n] = true }
 
+// EnableNode undoes DisableNode: node n transmits and receives again.
+// Frames that were on the air while it was down stay lost — only
+// transmissions whose reception window ends after the node is back count.
+func (m *Medium) EnableNode(n topo.NodeID) { m.disabled[n] = false }
+
 // NodeDisabled reports whether n has been failed.
 func (m *Medium) NodeDisabled(n topo.NodeID) bool { return m.disabled[n] }
+
+// linkKey packs an undirected link into a map key, ordering the endpoints
+// so (a,b) and (b,a) address the same link.
+func linkKey(a, b topo.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// linkDown reports whether the undirected link a–b has been failed. The
+// length guard keeps the common no-link-fault path free of map lookups.
+//
+//slp:hotpath
+func (m *Medium) linkDown(a, b topo.NodeID) bool {
+	return len(m.downLinks) != 0 && m.downLinks[linkKey(a, b)]
+}
+
+// DisableLink fails the undirected link a–b: frames no longer cross it in
+// either direction, while both endpoints keep exchanging frames with their
+// other neighbours. Used for persistent link-fault injection.
+func (m *Medium) DisableLink(a, b topo.NodeID) {
+	if m.downLinks == nil {
+		m.downLinks = make(map[uint64]bool)
+	}
+	m.downLinks[linkKey(a, b)] = true
+}
+
+// EnableLink undoes DisableLink for the undirected link a–b.
+func (m *Medium) EnableLink(a, b topo.NodeID) {
+	delete(m.downLinks, linkKey(a, b))
+}
+
+// LinkDisabled reports whether the undirected link a–b has been failed.
+func (m *Medium) LinkDisabled(a, b topo.NodeID) bool { return m.linkDown(a, b) }
 
 // AddObserver registers an eavesdropper and returns an id usable with
 // RemoveObserver.
@@ -380,7 +435,7 @@ func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 
 	// Schedule deliveries to in-range nodes, applying loss and collisions.
 	for _, to := range m.g.Neighbors(from) {
-		if m.disabled[to] {
+		if m.disabled[to] || m.linkDown(from, to) {
 			continue
 		}
 		if m.loss.Lost(senderPos.DistanceTo(m.g.Position(to)), m.rng) {

@@ -60,7 +60,11 @@ type SimConfig struct {
 	LossModel string
 	// Collisions enables receiver-side collision corruption.
 	Collisions bool
-	Workers    int // parallel runs; default GOMAXPROCS
+	// Faults is the deterministic fault-injection spec: "none" (default),
+	// "crash:<rate>", "churn:<rate>:<mttr>", "link:<rate>" or
+	// "blackout:<r>@<p>". The plan is a pure function of (spec, seed).
+	Faults  string
+	Workers int // parallel runs; default GOMAXPROCS
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -96,7 +100,7 @@ func (c SimConfig) coreConfig() (core.Config, error) {
 			Count:         c.Attackers,
 			SharedHistory: c.SharedHistory,
 		},
-		c.LossModel, c.Collisions)
+		c.LossModel, c.Collisions, c.Faults)
 }
 
 // ProtocolInfo describes one registered routing family.
