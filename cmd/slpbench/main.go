@@ -28,7 +28,7 @@
 //
 // Usage:
 //
-//	slpbench [-out BENCH_9.json] [-check BENCH_9.json] [-quiet]
+//	slpbench [-out BENCH_10.json] [-check BENCH_10.json] [-quiet]
 package main
 
 import (
@@ -43,8 +43,10 @@ import (
 	"time"
 
 	"slpdas/internal/campaign"
+	"slpdas/internal/channel"
 	"slpdas/internal/core"
 	"slpdas/internal/des"
+	"slpdas/internal/energy"
 	"slpdas/internal/fault"
 	"slpdas/internal/protocol"
 	"slpdas/internal/radio"
@@ -89,7 +91,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("slpbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_9.json", "output JSON file (empty = stdout)")
+	out := fs.String("out", "BENCH_10.json", "output JSON file (empty = stdout)")
 	check := fs.String("check", "", "baseline JSON to compare against; allocs/op regressions in zero-alloc suites fail the run")
 	quiet := fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -248,11 +250,13 @@ func suite() []benchmark {
 		{"radio/broadcast", benchBroadcast(false, false)},
 		{"radio/broadcast-collisions", benchBroadcast(true, false)},
 		{"radio/broadcast-observed", benchBroadcast(false, true)},
+		{"radio/sinr-delivery", benchSINRDelivery},
 		{"core/setup-new-11", benchSetupNew},
 		{"core/setup-reset-11", benchSetupReset},
 		{"core/single-run-11", benchSingleRun(11)},
 		{"core/single-run-21", benchSingleRun(21)},
 		{"core/churn-run", benchChurnRun},
+		{"core/energy-run", benchEnergyRun},
 		{"protocol/dispatch", benchProtocolDispatch},
 		{"campaign/cell-5x5", benchCampaignCell},
 		{"campaign/sweep-11x11-x100", benchRepeatHeavySweep},
@@ -343,6 +347,48 @@ func benchBroadcast(collisions, observed bool) func(b *testing.B) {
 	}
 }
 
+// benchSINRDelivery measures the broadcast→delivery fan-out under the
+// shadowed log-distance channel with SINR capture: two overlapping
+// transmissions per op, so every delivery runs the contention fold and the
+// capture verdict. The baseline holds this at 0 allocs/op — the SINR
+// accumulator must keep the pooled-delivery discipline (the per-link
+// shadowing cache is warmed before timing; steady state it is read-only).
+func benchSINRDelivery(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := channel.Parse("logdist:2.4:4@sinr:3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := des.New()
+	m := radio.New(sim, g, 1, radio.WithChannel(ch))
+	for n := topo.NodeID(0); int(n) < g.Len(); n++ {
+		m.SetReceiver(n, func(topo.NodeID, []byte) {})
+	}
+	centre := topo.GridCentre(11)
+	rival := g.Neighbors(centre)[0]
+	payload := make([]byte, 32)
+	fire := func() {
+		m.Broadcast(centre, payload)
+		m.Broadcast(rival, payload)
+	}
+	// Warm the pools and the per-link shadowing cache.
+	sim.ScheduleAfter(0, fire)
+	if err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ScheduleAfter(0, fire)
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSetupNew measures cold run construction: one full NewNetwork wiring
 // per op — what every campaign repeat paid before the arena split.
 func benchSetupNew(b *testing.B) {
@@ -418,6 +464,36 @@ func benchChurnRun(b *testing.B) {
 	sink, source := topo.GridCentre(11), topo.GridTopLeft()
 	cfg := core.DefaultSLP(3)
 	cfg.Faults = fault.Spec{Kind: fault.Churn, Rate: 0.15, MTTR: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := core.NewNetwork(g, sink, source, cfg, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEnergyRun measures one complete lifecycle with the physical layer
+// fully live: shadowed SINR channel, per-node battery accounting, idle
+// charging each TDMA period and depletion deaths rewiring the network —
+// the marginal cost of energy realism over core/single-run-11.
+func benchEnergyRun(b *testing.B) {
+	g, err := topo.DefaultGrid(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, source := topo.GridCentre(11), topo.GridTopLeft()
+	cfg := core.DefaultSLP(3)
+	cfg.Channel = "logdist:2.4:4@sinr:3"
+	es, err := energy.Parse("battery:25")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Energy = es
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

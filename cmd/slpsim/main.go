@@ -10,9 +10,11 @@
 //	slpsim overhead [-size N] [-sd D] [-repeats N] [-seed S]
 //	slpsim run      [-size N] [-protocol NAME] [-sd D]
 //	                [-repeats N] [-seed S] [-loss ideal|bernoulli:p|rssi]
+//	                [-channel logdist:<n>:<sigma>[@sinr:<t>]]
 //	                [-attacker R,H,M] [-strategy NAME] [-nattackers K]
 //	                [-shared-history] [-collisions]
 //	                [-faults none|crash:<rate>|churn:<rate>:<mttr>|link:<rate>|blackout:<r>@<p>]
+//	                [-energy none|battery:<capacity>[:<tx>:<rx>:<idle>]]
 //	slpsim protocols
 //	slpsim strategies
 package main
@@ -234,18 +236,24 @@ func runCustom(args []string) error {
 	repeats := fs.Int("repeats", 20, "simulation repetitions")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	loss := fs.String("loss", "ideal", "channel model: ideal, bernoulli:<p>, rssi")
+	channel := fs.String("channel", "", "full channel spec overriding -loss: ideal, bernoulli:<p>, rssi, logdist:<n>:<sigma>[@sinr:<threshold>]")
 	atk := fs.String("attacker", "1,0,1", "attacker parameters R,H,M")
 	strategy := fs.String("strategy", "", "attacker strategy (see 'slpsim strategies'; default first-heard)")
 	nattackers := fs.Int("nattackers", 1, "eavesdropper team size")
 	sharedHistory := fs.Bool("shared-history", false, "pool one H-window across the team")
 	collisions := fs.Bool("collisions", false, "enable receiver-side collisions")
 	faults := fs.String("faults", "none", "fault injection: none, crash:<rate>, churn:<rate>:<mttr>, link:<rate>, blackout:<r>@<p>")
+	energy := fs.String("energy", "none", "energy model: none, battery:<capacity>[:<tx>:<rx>:<idle>] (mJ)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var r, h, m int
 	if _, err := fmt.Sscanf(*atk, "%d,%d,%d", &r, &h, &m); err != nil {
 		return fmt.Errorf("bad -attacker %q (want R,H,M)", *atk)
+	}
+	channelSpec := *loss
+	if *channel != "" {
+		channelSpec = *channel
 	}
 	cfg := slpdas.SimConfig{
 		GridSize:       *size,
@@ -259,9 +267,10 @@ func runCustom(args []string) error {
 		Strategy:       *strategy,
 		Attackers:      *nattackers,
 		SharedHistory:  *sharedHistory,
-		LossModel:      *loss,
+		LossModel:      channelSpec,
 		Collisions:     *collisions,
 		Faults:         *faults,
+		Energy:         *energy,
 	}
 	sum, err := slpdas.Run(cfg)
 	if err != nil {
@@ -279,7 +288,7 @@ func runCustom(args []string) error {
 		}
 	}
 	fmt.Printf("%s on %d×%d grid, %d runs (seed %d, loss %s, %s)\n",
-		sum.Protocol, *size, *size, sum.Runs, *seed, *loss, atkDesc)
+		sum.Protocol, *size, *size, sum.Runs, *seed, channelSpec, atkDesc)
 	fmt.Printf("  capture ratio     : %.1f%% ±%.1f (%d/%d)\n",
 		sum.CaptureRatio*100, sum.CaptureRatioCI95*100, sum.Captures, sum.Runs)
 	if sum.Captures > 0 {

@@ -27,8 +27,10 @@
 //	         [-attackers R,H,M[;R,H,M...]] [-strategies first-heard,cautious,...]
 //	         [-nattackers 1,2,3] [-shared-history false,true]
 //	         [-loss ideal,bernoulli:<p>,rssi]
+//	         [-channels ideal,logdist:<n>:<sigma>[@sinr:<t>],...]
 //	         [-collisions false,true]
 //	         [-faults none,crash:<rate>,churn:<rate>:<mttr>,link:<rate>,blackout:<r>@<p>]
+//	         [-energy none,battery:<capacity>[:<tx>:<rx>:<idle>]]
 //	         [-repeats N] [-seed S] [-workers W]
 //	         [-path-cap off|full|N] [-out results.jsonl] [-format jsonl|csv]
 //	         [-resume] [-shard i/n] [-checkpoint N] [-quiet]
@@ -64,8 +66,10 @@ func run(args []string) int {
 	countArg := fs.String("nattackers", "1", "comma-separated eavesdropper team sizes")
 	sharedArg := fs.String("shared-history", "false", "comma-separated shared-H-window settings: false, true")
 	lossArg := fs.String("loss", "ideal", "comma-separated channel models: ideal, bernoulli:<p> with p in [0,1], rssi")
+	channelsArg := fs.String("channels", "", "comma-separated channel axis superseding -loss: ideal, bernoulli:<p>, rssi, logdist:<n>:<sigma>[@sinr:<threshold>]")
 	collArg := fs.String("collisions", "false", "comma-separated collision settings: false, true")
 	faultsArg := fs.String("faults", "none", "comma-separated fault-injection axis: none, crash:<rate>, churn:<rate>:<mttr>, link:<rate>, blackout:<r>@<p>")
+	energyArg := fs.String("energy", "none", "comma-separated energy axis: none, battery:<capacity>[:<tx>:<rx>:<idle>] (mJ)")
 	repeats := fs.Int("repeats", 10, "simulation repetitions per cell")
 	pathCapArg := fs.String("path-cap", "off", "attacker-walk recording per run: off (default; rows never render walks), full, or N to keep the first N locations")
 	seed := fs.Uint64("seed", 1, "base random seed")
@@ -83,7 +87,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *stratArg, *countArg, *sharedArg, *lossArg, *collArg, *faultsArg)
+	spec, err := buildSpec(*sizesArg, *topoArg, *protoArg, *sdArg, *atkArg, *stratArg, *countArg, *sharedArg, *lossArg, *channelsArg, *collArg, *faultsArg, *energyArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slpsweep: %v\n", err)
 		return 2
@@ -264,7 +268,7 @@ func resolveFormat(format, out string) string {
 	return "jsonl"
 }
 
-func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts, shared, losses, collisions, faults string) (campaign.Spec, error) {
+func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts, shared, losses, channels, collisions, faults, energy string) (campaign.Spec, error) {
 	var spec campaign.Spec
 	var err error
 	if spec.GridSizes, err = parseInts(sizes); err != nil {
@@ -288,10 +292,12 @@ func buildSpec(sizes, topologies, protocols, sds, attackers, strategies, counts,
 		return spec, fmt.Errorf("-shared-history: %w", err)
 	}
 	spec.LossModels = splitList(losses)
+	spec.Channels = splitList(channels)
 	if spec.Collisions, err = parseBools(collisions); err != nil {
 		return spec, fmt.Errorf("-collisions: %w", err)
 	}
 	spec.Faults = splitList(faults)
+	spec.Energy = splitList(energy)
 	return spec, nil
 }
 

@@ -30,11 +30,12 @@ import (
 	"sync"
 
 	"slpdas/internal/attacker"
+	"slpdas/internal/channel"
 	"slpdas/internal/core"
+	"slpdas/internal/energy"
 	"slpdas/internal/experiment"
 	"slpdas/internal/fault"
 	"slpdas/internal/protocol"
-	"slpdas/internal/radio"
 	"slpdas/internal/topo"
 )
 
@@ -79,9 +80,18 @@ type Spec struct {
 	AttackerCounts []int
 	// SharedHistories is the pooled-H-window axis. Default {false}.
 	SharedHistories []bool
-	// LossModels is the channel axis: "ideal", "bernoulli:<p>", "rssi".
-	// Default {"ideal"}.
+	// LossModels is the legacy channel axis: "ideal", "bernoulli:<p>",
+	// "rssi". Default {"ideal"}. Superseded by Channels when that is
+	// non-empty; both feed the same loss_model row column.
 	LossModels []string
+	// Channels is the physical-channel axis in the internal/channel
+	// grammar, which extends the LossModels values with log-distance path
+	// loss, shadowing and SINR capture
+	// ("logdist:<n>:<sigma>[@sinr:<threshold>]"). When non-empty it
+	// replaces LossModels as the channel axis; specs are canonicalised
+	// through channel.Parse/Spec at Expand, and the canonical string lands
+	// in the row's loss_model column.
+	Channels []string
 	// Collisions is the receiver-side collision axis. Default {false}.
 	Collisions []bool
 	// Faults is the fault-injection axis: specs in fault.Parse grammar
@@ -91,6 +101,12 @@ type Spec struct {
 	// which keeps cell indices and seeds of fault-free campaigns
 	// identical to builds that predate the axis.
 	Faults []string
+	// Energy is the per-node energy-accounting axis: specs in the
+	// internal/energy grammar ("none",
+	// "battery:<capacity>[:<tx>:<rx>:<idle>]"). Default {"none"}, which
+	// keeps cell indices and seeds of energy-free campaigns identical to
+	// builds that predate the axis; it nests innermost, after Faults.
+	Energy []string
 
 	// Repeats is the number of independent simulations per cell.
 	// Default 10.
@@ -212,10 +228,23 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Faults) == 0 {
 		s.Faults = []string{"none"}
 	}
+	if len(s.Energy) == 0 {
+		s.Energy = []string{"none"}
+	}
 	if s.Repeats == 0 {
 		s.Repeats = 10
 	}
 	return s
+}
+
+// channelAxis is the effective physical-channel axis: Channels when set,
+// else the legacy LossModels (withDefaults guarantees that one is
+// non-empty). Both land in Cell.LossModel and the loss_model column.
+func (s Spec) channelAxis() []string {
+	if len(s.Channels) > 0 {
+		return s.Channels
+	}
+	return s.LossModels
 }
 
 func (s Spec) topologyAxis() []TopologySpec {
@@ -240,9 +269,10 @@ type Cell struct {
 	Strategy       string
 	AttackerCount  int
 	SharedHistory  bool
-	LossModel      string
+	LossModel      string // canonical channel spec (channel.Parse grammar)
 	Collisions     bool
 	Faults         string // canonical fault.Spec string ("none" = fault-free)
+	Energy         string // canonical energy.Spec string ("none" = accounting off)
 	Repeats        int
 	BaseSeed       uint64 // repeat r runs on BaseSeed + r
 	PathCap        int    // Spec.PathCap semantics (0 = recording off)
@@ -254,7 +284,7 @@ func (c Cell) config() (core.Config, error) {
 		Strategy:      c.Strategy,
 		Count:         c.AttackerCount,
 		SharedHistory: c.SharedHistory,
-	}, c.LossModel, c.Collisions, c.Faults)
+	}, c.LossModel, c.Collisions, c.Faults, c.Energy)
 	if err != nil {
 		return core.Config{}, err
 	}
@@ -286,11 +316,13 @@ type AttackerSetup struct {
 }
 
 // BuildConfig maps one cell's coordinates — protocol name, search
-// distance, attacker setup, loss model, collisions, fault spec — onto a
-// validated core.Config. It is the single protocol-name switch shared by
-// the campaign engine and the slpdas facade. faults uses the fault.Parse
-// grammar; "" and "none" both mean fault-free.
-func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossModel string, collisions bool, faults string) (core.Config, error) {
+// distance, attacker setup, channel spec, collisions, fault spec, energy
+// spec — onto a validated core.Config. It is the single protocol-name
+// switch shared by the campaign engine and the slpdas facade.
+// channelSpec uses the internal/channel grammar (which subsumes the old
+// loss-model syntax); faults the fault.Parse grammar; energySpec the
+// energy.Parse grammar. "" and "none" mean off for the latter two.
+func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, channelSpec string, collisions bool, faults, energySpec string) (core.Config, error) {
 	fam, err := protocol.ByName(protoName)
 	if err != nil {
 		return core.Config{}, fmt.Errorf("campaign: %w", err)
@@ -309,16 +341,21 @@ func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossMo
 	cfg.AttackerCount = atk.Count
 	cfg.SharedHistory = atk.SharedHistory
 	cfg.Collisions = collisions
-	loss, err := radio.ParseLossModel(lossModel)
+	ch, err := channel.Parse(channelSpec)
 	if err != nil {
-		return core.Config{}, err
+		return core.Config{}, fmt.Errorf("campaign: %w", err)
 	}
-	cfg.Loss = loss
+	cfg.Channel = ch.Spec()
 	fs, err := fault.Parse(faults)
 	if err != nil {
 		return core.Config{}, fmt.Errorf("campaign: %w", err)
 	}
 	cfg.Faults = fs
+	es, err := energy.Parse(energySpec)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("campaign: %w", err)
+	}
+	cfg.Energy = es
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}
@@ -327,15 +364,25 @@ func BuildConfig(protoName string, searchDistance int, atk AttackerSetup, lossMo
 
 // Expand materialises the job matrix: the Cartesian product of all axes,
 // with defaults applied, in a deterministic order (topology outermost,
-// faults innermost). Repeats and the per-cell seed ranges are fixed
-// here, so Expand alone determines every seed a campaign will run. Fault
-// axis values are canonicalised through fault.Parse/String here, so cells
-// (and rows, and resume verification) always carry the canonical spelling
-// regardless of how the axis was written.
+// energy innermost). Repeats and the per-cell seed ranges are fixed
+// here, so Expand alone determines every seed a campaign will run.
+// Channel, fault and energy axis values are canonicalised through their
+// Parse/String round trips here, so cells (and rows, and resume
+// verification) always carry the canonical spelling regardless of how
+// the axis was written.
 func (s Spec) Expand() ([]Cell, error) {
 	s = s.withDefaults()
 	if s.Repeats < 0 {
 		return nil, fmt.Errorf("campaign: repeats must be positive, got %d", s.Repeats)
+	}
+	chAxis := s.channelAxis()
+	channelAxis := make([]string, len(chAxis))
+	for i, c := range chAxis {
+		m, err := channel.Parse(c)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		channelAxis[i] = m.Spec()
 	}
 	faultAxis := make([]string, len(s.Faults))
 	for i, f := range s.Faults {
@@ -344,6 +391,14 @@ func (s Spec) Expand() ([]Cell, error) {
 			return nil, fmt.Errorf("campaign: %w", err)
 		}
 		faultAxis[i] = fs.String()
+	}
+	energyAxis := make([]string, len(s.Energy))
+	for i, e := range s.Energy {
+		es, err := energy.Parse(e)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		energyAxis[i] = es.String()
 	}
 	var cells []Cell
 	for _, top := range s.topologyAxis() {
@@ -356,26 +411,29 @@ func (s Spec) Expand() ([]Cell, error) {
 					for _, strat := range s.Strategies {
 						for _, count := range s.AttackerCounts {
 							for _, sharedH := range s.SharedHistories {
-								for _, loss := range s.LossModels {
+								for _, loss := range channelAxis {
 									for _, coll := range s.Collisions {
 										for _, flt := range faultAxis {
-											idx := len(cells)
-											cells = append(cells, Cell{
-												Index:          idx,
-												Topology:       top,
-												Protocol:       proto,
-												SearchDistance: sd,
-												Attacker:       atk,
-												Strategy:       strat,
-												AttackerCount:  count,
-												SharedHistory:  sharedH,
-												LossModel:      loss,
-												Collisions:     coll,
-												Faults:         flt,
-												Repeats:        s.Repeats,
-												BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
-												PathCap:        s.PathCap,
-											})
+											for _, en := range energyAxis {
+												idx := len(cells)
+												cells = append(cells, Cell{
+													Index:          idx,
+													Topology:       top,
+													Protocol:       proto,
+													SearchDistance: sd,
+													Attacker:       atk,
+													Strategy:       strat,
+													AttackerCount:  count,
+													SharedHistory:  sharedH,
+													LossModel:      loss,
+													Collisions:     coll,
+													Faults:         flt,
+													Energy:         en,
+													Repeats:        s.Repeats,
+													BaseSeed:       s.BaseSeed + uint64(idx)*uint64(s.Repeats),
+													PathCap:        s.PathCap,
+												})
+											}
 										}
 									}
 								}

@@ -189,6 +189,15 @@ func cellRowMismatch(c Cell, r Row) string {
 	if wantFaults == "" {
 		wantFaults = "none"
 	}
+	// Same story for files written before the energy axis existed.
+	gotEnergy := r.Energy
+	if gotEnergy == "" {
+		gotEnergy = "none"
+	}
+	wantEnergy := c.Energy
+	if wantEnergy == "" {
+		wantEnergy = "none"
+	}
 	type coord struct {
 		name string
 		got  any
@@ -208,6 +217,7 @@ func cellRowMismatch(c Cell, r Row) string {
 		{"loss_model", r.LossModel, c.LossModel},
 		{"collisions", r.Collisions, c.Collisions},
 		{"faults", gotFaults, wantFaults},
+		{"energy", gotEnergy, wantEnergy},
 		{"repeats", r.Repeats, c.Repeats},
 		{"base_seed", r.BaseSeed, c.BaseSeed},
 	} {
@@ -283,6 +293,7 @@ func csvCoordRow(rec []string) (Row, error) {
 		}
 	}
 	r.Faults = rec[29]
+	r.Energy = rec[38]
 	return r, err
 }
 

@@ -68,6 +68,19 @@ type Row struct {
 	DeliveryDuring    float64 `json:"delivery_ratio_during"`
 	DeliveryAfter     float64 `json:"delivery_ratio_after"`
 	PartitionRatio    float64 `json:"partition_ratio"`
+
+	// Trailing columns added with the channel/energy axes, appended after
+	// the fault block for the same reason that block sits after the
+	// original fields: pre-axis output files differ from regenerated ones
+	// only in appended columns. Omitted in old files, Energy decodes as ""
+	// — resume verification normalises that to "none".
+	Energy           string  `json:"energy"`
+	CaptureWins      float64 `json:"mean_capture_wins"`
+	EnergyTotal      float64 `json:"energy_total_mj"`
+	EnergyMax        float64 `json:"energy_max_mj"`
+	EnergyDeaths     float64 `json:"mean_energy_deaths"`
+	FirstDeathPeriod float64 `json:"first_death_period"`
+	Lifetime         float64 `json:"lifetime_periods"`
 }
 
 // fin maps the NaN of an empty sample to 0 and clamps ±Inf to
@@ -106,6 +119,12 @@ func (r Row) sanitize() Row {
 	r.DeliveryDuring = fin(r.DeliveryDuring)
 	r.DeliveryAfter = fin(r.DeliveryAfter)
 	r.PartitionRatio = fin(r.PartitionRatio)
+	r.CaptureWins = fin(r.CaptureWins)
+	r.EnergyTotal = fin(r.EnergyTotal)
+	r.EnergyMax = fin(r.EnergyMax)
+	r.EnergyDeaths = fin(r.EnergyDeaths)
+	r.FirstDeathPeriod = fin(r.FirstDeathPeriod)
+	r.Lifetime = fin(r.Lifetime)
 	return r
 }
 
@@ -113,6 +132,10 @@ func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
 	faults := c.Faults
 	if faults == "" {
 		faults = "none"
+	}
+	energy := c.Energy
+	if energy == "" {
+		energy = "none"
 	}
 	return Row{
 		Cell:           c.Index,
@@ -155,6 +178,14 @@ func makeRow(c Cell, g *topo.Graph, agg *experiment.Aggregate) Row {
 		DeliveryDuring:    agg.DeliveryDuring.Mean,
 		DeliveryAfter:     agg.DeliveryAfter.Mean,
 		PartitionRatio:    fin(agg.Partitions.Value()),
+
+		Energy:           energy,
+		CaptureWins:      agg.CaptureWins.Mean,
+		EnergyTotal:      agg.EnergyTotal.Mean,
+		EnergyMax:        agg.EnergyMax.Mean,
+		EnergyDeaths:     agg.EnergyDeaths.Mean,
+		FirstDeathPeriod: agg.FirstDeathPeriod.Mean,
+		Lifetime:         agg.LifetimePeriods.Mean,
 	}
 }
 
@@ -256,6 +287,8 @@ var csvHeader = []string{
 	"faults", "mean_attacker_moves", "nodes_failed", "nodes_recovered",
 	"repair_periods", "delivery_ratio_before", "delivery_ratio_during",
 	"delivery_ratio_after", "partition_ratio",
+	"energy", "mean_capture_wins", "energy_total_mj", "energy_max_mj",
+	"mean_energy_deaths", "first_death_period", "lifetime_periods",
 }
 
 func csvRecord(r Row) []string {
@@ -276,6 +309,8 @@ func csvRecord(r Row) []string {
 		r.Faults, f(r.MeanAttackerMoves), f(r.NodesFailed), f(r.NodesRecovered),
 		f(r.RepairPeriods), f(r.DeliveryBefore), f(r.DeliveryDuring),
 		f(r.DeliveryAfter), f(r.PartitionRatio),
+		r.Energy, f(r.CaptureWins), f(r.EnergyTotal), f(r.EnergyMax),
+		f(r.EnergyDeaths), f(r.FirstDeathPeriod), f(r.Lifetime),
 	}
 }
 

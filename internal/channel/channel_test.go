@@ -1,0 +1,265 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"slpdas/internal/topo"
+	"slpdas/internal/xrand"
+)
+
+// TestParseSpecIdentity pins Parse∘Spec as the identity on every
+// canonical spec, the same contract fault.Spec holds: a campaign
+// coordinate rendered into a row and parsed back selects the same
+// channel.
+func TestParseSpecIdentity(t *testing.T) {
+	for _, spec := range []string{
+		"ideal",
+		"bernoulli:0",
+		"bernoulli:0.25",
+		"bernoulli:1",
+		"rssi",
+		"logdist:2.4:4",
+		"logdist:2:0",
+		"logdist:3.5:6.5",
+		"logdist:2.4:4@sinr:3",
+		"logdist:2.4:4@sinr:-1.5",
+		"logdist:2.4:0@sinr:0",
+	} {
+		m, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if got := m.Spec(); got != spec {
+			t.Errorf("Parse(%q).Spec() = %q; Parse∘Spec must be the identity", spec, got)
+		}
+	}
+}
+
+// TestParseNonCanonical: spellings that are valid but not canonical
+// normalise through Spec.
+func TestParseNonCanonical(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", "ideal"},
+		{"  ideal  ", "ideal"},
+		{"bernoulli:0.250", "bernoulli:0.25"},
+		{"logdist:2.40:4.0", "logdist:2.4:4"},
+		{"logdist:2.4:4@sinr:3.0", "logdist:2.4:4@sinr:3"},
+	} {
+		m, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := m.Spec(); got != tc.want {
+			t.Errorf("Parse(%q).Spec() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseRejectsGarbage is the grammar-surface table test: trailing
+// garbage after a valid prefix, missing arguments, out-of-range and
+// non-finite parameters are all errors, never silently normalised.
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"idealx",
+		"ideal:",
+		"ideal:1",
+		"rssi2",
+		"rssi:",
+		"rssi:4",
+		"bernoulli",
+		"bernoulli:",
+		"bernoulli:0.5x",
+		"bernoulli:0.5:1",
+		"bernoulli:-0.1",
+		"bernoulli:1.1",
+		"bernoulli:NaN",
+		"bernoulli:+Inf",
+		"logdist",
+		"logdist:",
+		"logdist:2.4",
+		"logdist:2.4:4:9",
+		"logdist:2.4:4x",
+		"logdist:0:4",
+		"logdist:-2:4",
+		"logdist:2.4:-1",
+		"logdist:NaN:4",
+		"logdist:2.4:4@",
+		"logdist:2.4:4@sinr",
+		"logdist:2.4:4@sinr:",
+		"logdist:2.4:4@sinr:3x",
+		"logdist:2.4:4@sinr:NaN",
+		"logdist:2.4:4@snr:3",
+		"ideal@sinr:3",
+		"bernoulli:0.5@sinr:3",
+		"rssi@sinr:3",
+		"unknown",
+	} {
+		if m, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted garbage as %q", bad, m.Spec())
+		}
+	}
+}
+
+// TestFamiliesSorted: the registry lists every family, sorted, and Parse
+// resolves each listed name (with default-ish arguments where required).
+func TestFamiliesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v, want the 4 built-in families", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	if _, err := Parse("nonsense"); err == nil || !strings.Contains(err.Error(), "ideal") {
+		t.Errorf("unknown-channel error should list known families, got: %v", err)
+	}
+}
+
+// TestLogDistanceShadowDeterministic: per-link shadowing is a pure
+// function of (seed, link) — symmetric, order-independent, stable across
+// Reset to the same seed, and different under a different seed.
+func TestLogDistanceShadowDeterministic(t *testing.T) {
+	a := NewLogDistance(2.4, 4)
+	a.Reset(7)
+	// Draw links in one order...
+	s01 := a.shadowDB(0, 1)
+	s12 := a.shadowDB(1, 2)
+	s02 := a.shadowDB(0, 2)
+	if s01 == s12 && s12 == s02 {
+		t.Fatalf("distinct links share one shadow value %v; stream labelling is broken", s01)
+	}
+	if got := a.shadowDB(1, 0); got != s01 {
+		t.Errorf("shadow not symmetric: S(0,1)=%v, S(1,0)=%v", s01, got)
+	}
+
+	// ...and in the reverse order on a fresh model: values must match.
+	b := NewLogDistance(2.4, 4)
+	b.Reset(7)
+	if got := b.shadowDB(0, 2); got != s02 {
+		t.Errorf("draw order changed S(0,2): %v vs %v", got, s02)
+	}
+	if got := b.shadowDB(1, 2); got != s12 {
+		t.Errorf("draw order changed S(1,2): %v vs %v", got, s12)
+	}
+	if got := b.shadowDB(0, 1); got != s01 {
+		t.Errorf("draw order changed S(0,1): %v vs %v", got, s01)
+	}
+
+	// Reset to the same seed replays; a different seed redraws.
+	a.Reset(7)
+	if got := a.shadowDB(0, 1); got != s01 {
+		t.Errorf("Reset(same seed) changed S(0,1): %v vs %v", got, s01)
+	}
+	a.Reset(8)
+	if got := a.shadowDB(0, 1); got == s01 {
+		t.Errorf("Reset(different seed) kept S(0,1) = %v", got)
+	}
+}
+
+// TestLogDistanceLostDrawsNothing: logdist loss is deterministic per link
+// and must not consume the shared stream — the property that keeps
+// default goldens byte-identical when logdist cells run beside them.
+func TestLogDistanceLostDrawsNothing(t *testing.T) {
+	m := NewLogDistance(2.4, 4)
+	m.Reset(3)
+	rng := xrand.NewNamed(99, "probe")
+	before := rng.Uint64()
+	rng = xrand.NewNamed(99, "probe")
+	_ = m.Lost(0, 1, 4.5, rng)
+	_ = m.Lost(1, 2, 4.5, rng)
+	if after := rng.Uint64(); after != before {
+		t.Errorf("logdist.Lost consumed the shared stream: next draw %v, want %v", after, before)
+	}
+}
+
+// TestLogDistanceSensitivity: with zero shadowing, loss is a pure
+// threshold on distance — near links deliver, far links drop.
+func TestLogDistanceSensitivity(t *testing.T) {
+	m := NewLogDistance(2.4, 0)
+	m.Reset(1)
+	// rx(d) = −40 − 24·log10(d); sensitivity −70 → cutoff d = 10^(30/24) ≈ 17.8 m.
+	if m.Lost(0, 1, 4.5, nil) {
+		t.Errorf("grid-spacing link (4.5 m) lost under logdist:2.4:0")
+	}
+	if !m.Lost(0, 1, 30, nil) {
+		t.Errorf("30 m link delivered under logdist:2.4:0; sensitivity threshold broken")
+	}
+	// Power is monotone decreasing in distance.
+	if p1, p2 := m.RxPowerMW(0, 1, 4.5), m.RxPowerMW(0, 1, 9); p1 <= p2 {
+		t.Errorf("RxPowerMW not decreasing: %v at 4.5 m, %v at 9 m", p1, p2)
+	}
+}
+
+// TestCaptureParams: the @sinr suffix yields linear parameters, absent
+// otherwise.
+func TestCaptureParams(t *testing.T) {
+	m, err := Parse("logdist:2.4:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Capture(); ok {
+		t.Error("logdist without @sinr reports capture enabled")
+	}
+	m, err = Parse("logdist:2.4:4@sinr:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := m.Capture()
+	if !ok {
+		t.Fatal("logdist@sinr reports capture disabled")
+	}
+	if want := math.Pow(10, 0.3); math.Abs(cp.ThresholdMW-want) > 1e-12 {
+		t.Errorf("ThresholdMW = %v, want 10^0.3 = %v", cp.ThresholdMW, want)
+	}
+	if want := math.Pow(10, -9); math.Abs(cp.NoiseMW-want) > 1e-21 {
+		t.Errorf("NoiseMW = %v, want 10^-9 = %v", cp.NoiseMW, want)
+	}
+}
+
+// TestStatelessModels: ideal/bernoulli/rssi behave exactly like the
+// pre-registry loss models they replace — same draws from the same
+// stream (the byte-compat contract is pinned end-to-end by the goldens;
+// this is the unit-level view).
+func TestStatelessModels(t *testing.T) {
+	var ni, nb topo.NodeID = 0, 1
+
+	ideal, _ := Parse("ideal")
+	if ideal.Lost(ni, nb, 1e9, nil) {
+		t.Error("ideal lost a frame")
+	}
+
+	bern, _ := Parse("bernoulli:1")
+	rng := xrand.NewNamed(1, "radio")
+	if !bern.Lost(ni, nb, 1, rng) {
+		t.Error("bernoulli:1 delivered a frame")
+	}
+	bern, _ = Parse("bernoulli:0")
+	if bern.Lost(ni, nb, 1, rng) {
+		t.Error("bernoulli:0 lost a frame")
+	}
+
+	// rssi at grid spacing: overwhelmingly delivered, and each call draws
+	// exactly one NormFloat64 — the legacy sequence.
+	rssi, _ := Parse("rssi")
+	r1 := xrand.NewNamed(42, "radio")
+	r2 := xrand.NewNamed(42, "radio")
+	losses := 0
+	for i := 0; i < 1000; i++ {
+		if rssi.Lost(ni, nb, 4.5, r1) {
+			losses++
+		}
+		r2.NormFloat64()
+	}
+	if losses > 100 {
+		t.Errorf("rssi at grid spacing lost %d/1000 frames; calibration broken", losses)
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Error("rssi.Lost draw sequence diverges from one NormFloat64 per call")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"slpdas/internal/attacker"
+	"slpdas/internal/channel"
+	"slpdas/internal/energy"
 	"slpdas/internal/fault"
 	"slpdas/internal/mac"
 	"slpdas/internal/protocol"
@@ -88,11 +90,27 @@ type Config struct {
 	// collectively avoids anywhere any member has visited. Only meaningful
 	// with AttackerCount > 1 and Attacker.H > 0.
 	SharedHistory bool
-	// Loss is the channel model; nil means radio.Ideal{}, the paper's
-	// reliable-network evaluation setting.
+	// Loss is the legacy binary channel model; nil means radio.Ideal{}, the
+	// paper's reliable-network evaluation setting. Superseded by Channel
+	// when that is non-empty.
 	Loss radio.LossModel
-	// Collisions enables receiver-side collision corruption.
+	// Channel selects the physical channel by textual spec (the
+	// internal/channel grammar: "ideal", "bernoulli:<p>", "rssi", or
+	// "logdist:<n>:<sigma>[@sinr:<threshold>]"). A string rather than a
+	// model value so Configs stay copyable across campaign workers: each
+	// Network parses and owns its instance. Non-empty takes precedence
+	// over Loss; empty falls through to Loss, then to the ideal channel.
+	Channel string
+	// Collisions enables receiver-side collision corruption. Ignored by
+	// channels with SINR capture, which replace the binary window with the
+	// interference accumulator.
 	Collisions bool
+	// Energy configures per-node energy accounting (see internal/energy).
+	// The zero Spec disables it: no charging, no depletion, no extra
+	// random draws, byte-identical runs. With a battery configured, a node
+	// whose spend reaches capacity crash-stops through the fault-injection
+	// path; the sink and source are mains-powered and never die.
+	Energy energy.Spec
 	// EventBudget bounds simulator events per run (0 = default 50M).
 	EventBudget uint64
 	// FastCollisionResolve lets a collision loser jump directly to the
@@ -207,6 +225,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: path cap must be >= %d (off), got %d", PathRecordingOff, c.PathCap)
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Channel != "" {
+		if _, err := channel.Parse(c.Channel); err != nil {
+			return err
+		}
+	}
+	if err := c.Energy.Validate(); err != nil {
 		return err
 	}
 	return nil

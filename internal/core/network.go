@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slpdas/internal/attacker"
+	"slpdas/internal/channel"
 	"slpdas/internal/des"
 	"slpdas/internal/fault"
 	"slpdas/internal/gcn"
@@ -82,6 +83,23 @@ type Network struct {
 	deliveryLatencies []int
 
 	failAt map[topo.NodeID]time.Duration
+
+	// Channel plumbing: the parsed model for cfg.Channel, cached per raw
+	// spec string so arena Resets reuse one instance (per-run state inside
+	// the model is rewound by Medium.Reset).
+	chanSpec  string        // lint:immutable: cache key, maintained by resolveChannel on the Reset path
+	chanModel channel.Model // lint:immutable: cached parse, maintained by resolveChannel on the Reset path
+
+	// Energy accounting state (cfg.Energy configured only). energyOn is
+	// latched at Reset and gates every charging branch so energy-off runs
+	// replay the pre-energy event order exactly. lifetimeAt is the instant
+	// the first depletion death partitioned source from sink — the
+	// network-lifetime verdict; lifetimeEnded latches it.
+	energyOn      bool
+	energyDeaths  int
+	firstDeathAt  time.Duration
+	lifetimeAt    time.Duration
+	lifetimeEnded bool
 
 	// Fault-injection state. faultPlan is minted at Reset from cfg.Faults
 	// on the dedicated "fault" stream; faultsActive is latched at setup
@@ -188,6 +206,14 @@ func NewNetwork(g *topo.Graph, sink, source topo.NodeID, cfg Config, seed uint64
 		// A crashed node's periods pass in silence; the period count keeps
 		// advancing so sequence numbers stay wall-clock aligned (see mac).
 		net.tasks[id].SetAliveCheck(func() bool { return !nd.dead })
+		// Idle-listening charge, once per TDMA data period the node is up.
+		// Only TDMA families arm slot tasks, so event-driven data phases
+		// accrue no idle spend (documented in internal/energy).
+		net.tasks[id].SetPeriodHook(func() {
+			if net.energyOn {
+				net.charge(nd.id, net.cfg.Energy.IdleCost)
+			}
+		})
 	}
 
 	if err := net.Reset(cfg, seed); err != nil {
@@ -227,9 +253,23 @@ func (n *Network) Reset(cfg Config, seed uint64) error {
 	if budget == 0 {
 		budget = 50_000_000
 	}
+	ch, err := n.resolveChannel(cfg)
+	if err != nil {
+		return err
+	}
+	n.energyOn = !cfg.Energy.Empty()
+	var meter radio.EnergyMeter
+	if n.energyOn {
+		meter = n
+	}
+	n.energyDeaths = 0
+	n.firstDeathAt = 0
+	n.lifetimeAt = 0
+	n.lifetimeEnded = false
+
 	n.sim.Reset()
 	n.sim.SetEventBudget(budget)
-	n.medium.Reset(seed, cfg.Loss, cfg.Collisions)
+	n.medium.Reset(seed, ch, cfg.Collisions, meter)
 	n.engine.Reset()
 
 	n.timing = cfg.Timing()
@@ -325,6 +365,74 @@ func (n *Network) horizon() time.Duration {
 	return n.deadline + n.timing.PeriodDuration()
 }
 
+// resolveChannel maps the config's channel knobs onto one channel.Model:
+// Channel spec (parsed, cached per spec string), else the legacy Loss
+// model adapted, else nil — Medium.Reset's ideal default. The model is
+// owned by this Network, never shared: Config carries only the string,
+// so copied Configs on campaign workers cannot alias per-run state.
+func (n *Network) resolveChannel(cfg Config) (channel.Model, error) {
+	if cfg.Channel != "" {
+		if n.chanModel == nil || n.chanSpec != cfg.Channel {
+			m, err := channel.Parse(cfg.Channel)
+			if err != nil {
+				return nil, err
+			}
+			n.chanSpec, n.chanModel = cfg.Channel, m
+		}
+		return n.chanModel, nil
+	}
+	if cfg.Loss != nil {
+		return radio.FromLossModel(cfg.Loss), nil
+	}
+	return nil, nil
+}
+
+// ChargeTx implements radio.EnergyMeter: bill the sender for one frame.
+//
+//slp:hotpath
+func (n *Network) ChargeTx(id topo.NodeID, bytes int) {
+	n.charge(id, n.cfg.Energy.TxCost*float64(bytes))
+}
+
+// ChargeRx implements radio.EnergyMeter: bill a receiver for one
+// reception window, survive it or not.
+//
+//slp:hotpath
+func (n *Network) ChargeRx(id topo.NodeID, bytes int) {
+	n.charge(id, n.cfg.Energy.RxCost*float64(bytes))
+}
+
+// charge spends mJ from id's battery and crash-stops the node at
+// depletion. The sink and the source are mains-powered: they account
+// spend but never die, keeping the privacy question well-posed.
+//
+//slp:hotpath
+func (n *Network) charge(id topo.NodeID, mJ float64) {
+	nd := n.nodes[id]
+	nd.energyUsed += mJ
+	if !nd.energyDead && nd.energyUsed >= n.cfg.Energy.Capacity && id != n.sink && id != n.source {
+		n.depleted(id)
+	}
+}
+
+// depleted kills a node whose battery just ran out: permanent fail-stop
+// through the fault-injection path, plus the first-death and
+// network-lifetime verdicts. Cold path — each node depletes at most once
+// per run.
+func (n *Network) depleted(id topo.NodeID) {
+	nd := n.nodes[id]
+	nd.energyDead = true
+	n.energyDeaths++
+	if n.energyDeaths == 1 {
+		n.firstDeathAt = n.sim.Now()
+	}
+	n.crashNode(id)
+	if !n.lifetimeEnded && n.partitioned() {
+		n.lifetimeEnded = true
+		n.lifetimeAt = n.sim.Now()
+	}
+}
+
 // FailNode schedules node id to crash at the given absolute time (legacy
 // single-node failure injection; prefer Config.Faults, which rides the
 // arena Reset path). Must be called after Reset and before Run; the
@@ -362,11 +470,17 @@ func (n *Network) crashNode(id topo.NodeID) {
 // hop, parent and slot from its neighbours' disseminations.
 func (n *Network) recoverNode(id topo.NodeID) {
 	nd := n.nodes[id]
-	if !nd.dead {
+	if !nd.dead || nd.energyDead {
+		// A battery-depleted node has nothing to reboot with: depletion is
+		// permanent, churn recovery cannot resurrect it.
 		return
 	}
 	n.nodesRecovered++
+	used := nd.energyUsed
 	nd.reset(n.seed)
+	// A reboot does not recharge the battery: the spend survives the
+	// volatile-state wipe.
+	nd.energyUsed = used
 	nd.prc.Revive()
 	n.medium.EnableNode(id)
 	if id == n.sink {
@@ -775,6 +889,33 @@ func (n *Network) collect() *Result {
 	res.StrongViolations = len(schedule.CheckStrongDAS(g, a))
 	res.CollisionViolations = len(schedule.CheckNonColliding(g, a))
 	res.RangeViolations = len(schedule.CheckSlotRange(g, a, n.cfg.Slots))
+
+	// Energy verdicts (energy runs only; energy-off runs report the zero
+	// totals and the -1 sentinels).
+	res.FirstDeathPeriod = -1
+	res.LifetimePeriods = -1
+	if n.energyOn {
+		var total, peak float64
+		for _, nd := range n.nodes {
+			total += nd.energyUsed
+			if nd.energyUsed > peak {
+				peak = nd.energyUsed
+			}
+		}
+		res.EnergyTotalMJ = total
+		res.EnergyMaxMJ = peak
+		res.EnergyMeanMJ = total / float64(len(n.nodes))
+		res.EnergyDeaths = n.energyDeaths
+		period := float64(n.timing.PeriodDuration())
+		if n.energyDeaths > 0 {
+			res.FirstDeathPeriod = float64(n.firstDeathAt-n.dataStart) / period
+		}
+		if n.lifetimeEnded {
+			res.LifetimePeriods = float64(n.lifetimeAt-n.dataStart) / period
+		} else {
+			res.LifetimePeriods = res.PeriodsRun
+		}
+	}
 
 	// Degradation verdicts (fault runs only; fault-free runs report the
 	// zero values and RepairPeriods = -1).

@@ -107,6 +107,13 @@ type node struct {
 	// medium, computation stopped via the GCN process, and the TDMA slot
 	// task skips its periods through the alive check.
 	dead bool
+
+	// Energy accounting (Config.Energy runs only; both stay zero
+	// otherwise). energyUsed is the cumulative spend in mJ; energyDead
+	// latches battery depletion — unlike a churn crash it is permanent,
+	// recovery cannot resurrect a flat battery.
+	energyUsed float64
+	energyDead bool
 }
 
 func newNode(id topo.NodeID, net *Network) *node {
@@ -161,6 +168,8 @@ func (n *node) reset(seed uint64) {
 	n.pendingCount = 0
 	n.dataPeriod = 0
 	n.dead = false
+	n.energyUsed = 0
+	n.energyDead = false
 }
 
 func (n *node) isSink() bool { return n.id == n.net.sink }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"slpdas/internal/energy"
 	"slpdas/internal/fault"
 	"slpdas/internal/topo"
 )
@@ -46,6 +47,13 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 	cfgTeam.Strategy = "unvisited-first"
 	cfgChurn := DefaultSLP(2)
 	cfgChurn.Faults = fault.Spec{Kind: fault.Churn, Rate: 0.2, MTTR: 2}
+	cfgShadow := DefaultSLP(2)
+	cfgShadow.Channel = "logdist:2.4:4@sinr:3"
+	es, err := energy.Parse("battery:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgShadow.Energy = es
 
 	// The sequence deliberately alternates protocol, collision model,
 	// attacker team shape and seed so each Reset must rewind state the
@@ -59,7 +67,10 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 		{"plain-collisions/seed2", cfgPlain, 2},
 		{"team/seed3", cfgTeam, 3},
 		{"churn/seed4", cfgChurn, 4},
-		{"slp/seed1 again", cfgSLP, 1}, // exact replay of run 0, after a faulted run
+		// Shadowed SINR channel with battery depletion: Reset must redraw
+		// the per-link shadowing cache and rewind every energy field.
+		{"shadow-energy/seed5", cfgShadow, 5},
+		{"slp/seed1 again", cfgSLP, 1}, // exact replay of run 0, after faulted and energy runs
 	}
 
 	net, err := NewNetwork(g, sink, source, sequence[0].cfg, sequence[0].seed)
@@ -87,9 +98,10 @@ func TestResetMatchesFreshNetwork(t *testing.T) {
 				step.name, arenaResults[i], fresh)
 		}
 	}
-	if !reflect.DeepEqual(arenaResults[0], arenaResults[4]) {
+	last := len(sequence) - 1
+	if !reflect.DeepEqual(arenaResults[0], arenaResults[last]) {
 		t.Errorf("replaying (cfg, seed) on the same network diverged:\nfirst: %+v\nagain: %+v",
-			arenaResults[0], arenaResults[3])
+			arenaResults[0], arenaResults[last])
 	}
 }
 

@@ -86,6 +86,25 @@ type Result struct {
 	// nodes over intact links between them. The run still terminates
 	// cleanly with this verdict instead of erroring or spinning.
 	PartitionDetected bool
+
+	// --- Per-node energy accounting (Config.Energy runs) ---
+
+	// EnergyTotalMJ, EnergyMaxMJ and EnergyMeanMJ summarise cumulative
+	// per-node spend in mJ: network total, hottest node, per-node mean.
+	// All zero for energy-off runs.
+	EnergyTotalMJ float64
+	EnergyMaxMJ   float64
+	EnergyMeanMJ  float64
+	// EnergyDeaths counts nodes that crash-stopped on battery depletion.
+	EnergyDeaths int
+	// FirstDeathPeriod is when the first depletion death happened, in TDMA
+	// periods after source activation (negative: during setup). -1 when no
+	// node depleted — always -1 for energy-off runs.
+	FirstDeathPeriod float64
+	// LifetimePeriods is the network lifetime: periods after source
+	// activation until a depletion death first partitioned source from
+	// sink, or the full periods run when none did. -1 for energy-off runs.
+	LifetimePeriods float64
 }
 
 // DataMessagesPerPeriod normalises data-plane traffic by simulated

@@ -119,6 +119,8 @@ type Accumulator struct {
 	attackerMoves                                                          series
 	nodesFailed, nodesRecovered, repair                                    series
 	delivBefore, delivDuring, delivAfter                                   series
+	captureWins, energyTotal, energyMax, energyDeaths                      series
+	firstDeath, lifetime                                                   series
 	byType                                                                 map[wire.Type]*series
 }
 
@@ -214,6 +216,19 @@ func (a *Accumulator) Add(r *core.Result) {
 	if r.PartitionDetected {
 		a.agg.Partitions.Successes++
 	}
+	a.captureWins.add(float64(r.RadioStats.CaptureWins), a.KeepResults)
+	a.energyTotal.add(r.EnergyTotalMJ, a.KeepResults)
+	a.energyMax.add(r.EnergyMaxMJ, a.KeepResults)
+	a.energyDeaths.add(float64(r.EnergyDeaths), a.KeepResults)
+	// FirstDeathPeriod and LifetimePeriods are -1 sentinels for energy-off
+	// runs (and, for first death, runs where no battery ran out); like
+	// latency and repair, only observed values are averaged.
+	if r.FirstDeathPeriod >= 0 {
+		a.firstDeath.add(r.FirstDeathPeriod, a.KeepResults)
+	}
+	if r.LifetimePeriods >= 0 {
+		a.lifetime.add(r.LifetimePeriods, a.KeepResults)
+	}
 	//lint:ignore mapiter independent per-type series updates, order-free
 	for t, s := range r.Messages {
 		bt := a.byType[t]
@@ -241,6 +256,12 @@ func (a *Accumulator) Finalize() *Aggregate {
 	a.agg.DeliveryBefore = a.delivBefore.summary(a.KeepResults)
 	a.agg.DeliveryDuring = a.delivDuring.summary(a.KeepResults)
 	a.agg.DeliveryAfter = a.delivAfter.summary(a.KeepResults)
+	a.agg.CaptureWins = a.captureWins.summary(a.KeepResults)
+	a.agg.EnergyTotal = a.energyTotal.summary(a.KeepResults)
+	a.agg.EnergyMax = a.energyMax.summary(a.KeepResults)
+	a.agg.EnergyDeaths = a.energyDeaths.summary(a.KeepResults)
+	a.agg.FirstDeathPeriod = a.firstDeath.summary(a.KeepResults)
+	a.agg.LifetimePeriods = a.lifetime.summary(a.KeepResults)
 	//lint:ignore mapiter map-to-map copy keyed by the same key, order-free
 	for t, s := range a.byType {
 		a.agg.MessagesByType[t] = s.summary(a.KeepResults)
@@ -293,6 +314,17 @@ type Aggregate struct {
 	// Partitions is the fraction of runs that ended source↔sink
 	// partitioned (one of them dead, or no alive path between them).
 	Partitions metrics.Proportion
+
+	// Physical-layer and energy verdicts (zero-valued summaries for cells
+	// without SINR capture or energy accounting; FirstDeathPeriod and
+	// LifetimePeriods average only runs that observed the event — the -1
+	// sentinels are excluded like RepairPeriods).
+	CaptureWins      metrics.Summary
+	EnergyTotal      metrics.Summary // per-run network total, mJ
+	EnergyMax        metrics.Summary // per-run hottest node, mJ
+	EnergyDeaths     metrics.Summary
+	FirstDeathPeriod metrics.Summary
+	LifetimePeriods  metrics.Summary
 
 	Failures int // runs that returned an error
 	Results  []*core.Result

@@ -37,6 +37,8 @@ var simPackages = map[string]bool{
 	"slpdas/internal/core":       true,
 	"slpdas/internal/des":        true,
 	"slpdas/internal/radio":      true,
+	"slpdas/internal/channel":    true,
+	"slpdas/internal/energy":     true,
 	"slpdas/internal/gcn":        true,
 	"slpdas/internal/mac":        true,
 	"slpdas/internal/protocol":   true,

@@ -91,6 +91,54 @@ func coldError(ok bool) error {
 	return nil
 }
 
+// accumulator mirrors the SINR contention fold in the radio delivery
+// path: indexed float accumulation, compare-and-swap of the strongest
+// entry, and a threshold verdict — all branch-and-multiply, nothing that
+// may allocate.
+type accumulator struct {
+	sum, best []float64
+	threshold float64
+	noise     float64
+	wins      uint64
+}
+
+//slp:hotpath
+func (a *accumulator) fold(to int, power float64) {
+	a.sum[to] += power
+	if power > a.best[to] {
+		a.best[to] = power
+	}
+}
+
+//slp:hotpath
+func (a *accumulator) clears(to int, power float64) bool {
+	interference := a.sum[to] - power
+	if interference < 0 {
+		interference = 0
+	}
+	if power < a.threshold*(a.noise+interference) {
+		return false
+	}
+	if interference > 0 {
+		a.wins++
+	}
+	return true
+}
+
+// foldTraced shows the shapes the delivery path must not grow: logging a
+// capture verdict and collecting per-window samples into a fresh slice
+// both allocate per delivery.
+//
+//slp:hotpath
+func (a *accumulator) foldTraced(to int, power float64) []float64 {
+	fmt.Println("fold", to, power) // want "fmt.Println"
+	var samples []float64
+	for i := range a.sum {
+		samples = append(samples, a.sum[i]) // want "append to fresh uncapped slice samples"
+	}
+	return samples
+}
+
 // unmarked is not annotated; nothing in it is checked.
 func unmarked() string {
 	var parts []string

@@ -76,10 +76,16 @@ type SlotTask struct {
 	// period count keeps advancing, so sequence numbers stay aligned with
 	// wall-clock periods across a crash and recovery. Nil means always
 	// alive — the pre-fault-injection behaviour.
-	alive   func() bool
-	stopped bool
-	period  int
-	fireEv  fireEvent
+	alive func() bool
+	// periodHook, when non-nil, runs once at each period boundary the node
+	// is alive for, before the slot is polled. Core charges idle-listening
+	// energy here; the hook may kill the node (battery depletion), so
+	// liveness is re-checked after it and a mid-hook death silences the
+	// period's slot.
+	periodHook func()
+	stopped    bool
+	period     int
+	fireEv     fireEvent
 }
 
 // fireEvent is the in-period transmission event. Only one is ever in
@@ -143,6 +149,11 @@ func (st *SlotTask) Stop() { st.stopped = true }
 // the slot and fire callbacks. A nil check means always alive.
 func (st *SlotTask) SetAliveCheck(alive func() bool) { st.alive = alive }
 
+// SetPeriodHook installs the per-period callback run at each period
+// boundary the node is alive for (see SlotTask). Like the alive check it
+// is wiring, not run state. A nil hook disables it.
+func (st *SlotTask) SetPeriodHook(hook func()) { st.periodHook = hook }
+
 // Period returns the index of the period currently scheduled or running.
 func (st *SlotTask) Period() int { return st.period }
 
@@ -154,10 +165,17 @@ func (st *SlotTask) Run() {
 		return
 	}
 	if st.alive == nil || st.alive() {
-		s := st.slot()
-		if st.timing.ValidSlot(s) {
-			st.fireEv.period = st.period
-			st.sim.ScheduleRunnerAfter(time.Duration(s)*st.timing.SlotDuration, &st.fireEv)
+		if st.periodHook != nil {
+			st.periodHook()
+		}
+		// Re-check: the hook may have killed the node (battery depletion),
+		// and a node that died at the boundary has no slot this period.
+		if st.alive == nil || st.alive() {
+			s := st.slot()
+			if st.timing.ValidSlot(s) {
+				st.fireEv.period = st.period
+				st.sim.ScheduleRunnerAfter(time.Duration(s)*st.timing.SlotDuration, &st.fireEv)
+			}
 		}
 	}
 	st.period++

@@ -173,7 +173,7 @@ func TestEnableLinkRestoresLink(t *testing.T) {
 func TestResetClearsDownLinks(t *testing.T) {
 	sim, _, m := newTestMedium(t, 3)
 	m.DisableLink(0, 1)
-	m.Reset(1, nil, false)
+	m.Reset(1, nil, false, nil)
 	if m.LinkDisabled(0, 1) {
 		t.Error("link fault survived Reset")
 	}

@@ -6,6 +6,9 @@ import (
 	"math/rand/v2"
 	"strconv"
 	"strings"
+
+	"slpdas/internal/channel"
+	"slpdas/internal/topo"
 )
 
 // LossModel decides, per transmission and per link, whether a frame is lost
@@ -94,11 +97,52 @@ var (
 	_ LossModel = RSSINoise{}
 )
 
-// ParseLossModel parses the textual channel-model syntax shared by the
-// facade, the campaign engine and the CLIs: "ideal" (or ""),
-// "bernoulli:<p>" with p ∈ [0, 1], or "rssi".
+// lossAdapter lifts a legacy binary LossModel onto the channel.Model
+// interface: no per-run state (Reset is a no-op), unit received power,
+// and no capture — the binary collision window keeps that job.
+type lossAdapter struct {
+	lm LossModel
+}
+
+// Spec implements channel.Model with the legacy model's report name.
+func (a lossAdapter) Spec() string { return a.lm.Name() }
+
+// Reset implements channel.Model; legacy loss models hold no run state.
+func (a lossAdapter) Reset(uint64) {}
+
+// Lost implements channel.Model, delegating to the wrapped model.
 //
-// The probability must be a finite number: strconv.ParseFloat happily
+//slp:hotpath
+func (a lossAdapter) Lost(_, _ topo.NodeID, dist float64, rng *rand.Rand) bool {
+	return a.lm.Lost(dist, rng)
+}
+
+// RxPowerMW implements channel.Model with a flat unit power.
+func (a lossAdapter) RxPowerMW(_, _ topo.NodeID, _ float64) float64 { return 1 }
+
+// Capture implements channel.Model; binary models never capture.
+func (a lossAdapter) Capture() (channel.CaptureParams, bool) {
+	return channel.CaptureParams{}, false
+}
+
+// FromLossModel adapts a legacy LossModel onto the channel interface. A
+// nil model adapts to channel.Ideal.
+func FromLossModel(lm LossModel) channel.Model {
+	if lm == nil {
+		return channel.Ideal{}
+	}
+	return lossAdapter{lm: lm}
+}
+
+// ParseLossModel parses the legacy binary loss-model syntax: "ideal" (or
+// ""), "bernoulli:<p>" with p ∈ [0, 1], or "rssi". The full channel
+// grammar — logdist path loss, shadowing, SINR capture — lives in
+// internal/channel; this parser survives for the Config.Loss field and
+// callers that need a LossModel value.
+//
+// Parsing is strict: a family name with trailing garbage ("rssi2",
+// "bernoulli:0.5x") is an unknown model, never silently normalised. The
+// probability must be a finite number: strconv.ParseFloat happily
 // accepts "NaN" and "±Inf", and NaN in particular passes every range
 // comparison while making Lost silently always-false — an ideal channel
 // mislabelled as bernoulli in every result row. p = 1 is admitted as a
@@ -106,13 +150,23 @@ var (
 // bounded by simulated time, and the DES terminates normally (pinned by
 // core's total-loss test).
 func ParseLossModel(s string) (LossModel, error) {
-	switch {
-	case s == "" || s == "ideal":
+	name, args, hasArgs := strings.Cut(s, ":")
+	switch name {
+	case "", "ideal":
+		if hasArgs {
+			return nil, fmt.Errorf("radio: loss model %q takes no arguments", s)
+		}
 		return Ideal{}, nil
-	case s == "rssi":
+	case "rssi":
+		if hasArgs {
+			return nil, fmt.Errorf("radio: loss model %q takes no arguments", s)
+		}
 		return DefaultRSSINoise(), nil
-	case strings.HasPrefix(s, "bernoulli:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "bernoulli:"), 64)
+	case "bernoulli":
+		if !hasArgs {
+			return nil, fmt.Errorf("radio: bernoulli needs a probability (bernoulli:<p>)")
+		}
+		p, err := strconv.ParseFloat(args, 64)
 		if err != nil || math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
 			return nil, fmt.Errorf("radio: bad bernoulli probability in %q (want a finite p in [0, 1])", s)
 		}

@@ -35,6 +35,20 @@ func TestParseLossModel(t *testing.T) {
 		{"bernoulli:", ""},
 		{"bernoulli:x", ""},
 		{"bogus", ""},
+		// Trailing garbage must be rejected, not silently truncated: a typo
+		// like "bernoulli:0.5x" must not quietly run at some other rate, and
+		// "rssi2"/"ideal:1" are not spellings of anything.
+		{"bernoulli:0.5x", ""},
+		{"bernoulli:0.5:", ""},
+		{"bernoulli:0.5:0.5", ""},
+		{"rssi2", ""},
+		{"rssi:", ""},
+		{"rssi:1", ""},
+		{"ideal:1", ""},
+		{"ideal:", ""},
+		{"idealx", ""},
+		{" ideal", ""},
+		{"ideal ", ""},
 	} {
 		m, err := ParseLossModel(tc.in)
 		if tc.want == "" {

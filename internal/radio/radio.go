@@ -1,14 +1,18 @@
 // Package radio simulates the shared wireless medium: broadcast over the
-// unit-disk connectivity of a topology, configurable loss models, a
-// receiver-side collision model, and eavesdropper taps through which the
-// attacker overhears transmissions. Together with internal/des it replaces
-// the TOSSIM radio stack used by the paper's evaluation.
+// unit-disk connectivity of a topology, pluggable physical channels from
+// internal/channel, a receiver-side collision model — binary windows, or
+// SINR capture when the channel provides received powers — per-node
+// energy charging through an EnergyMeter, and eavesdropper taps through
+// which the attacker overhears transmissions. Together with internal/des
+// it replaces the TOSSIM radio stack used by the paper's evaluation.
 //
 // The broadcast→delivery path is the simulator's hottest loop, so it is
 // built to allocate nothing in steady state: per-neighbour deliveries and
 // per-broadcast eavesdropper scans are typed des.Runner events drawn from
 // free lists, and payload bytes live in refcounted pooled buffers shared by
-// every delivery of one broadcast.
+// every delivery of one broadcast. The SINR accumulator keeps that
+// discipline: contention is float accumulation into per-receiver arrays,
+// and the capture verdict at delivery is branch-and-multiply only.
 package radio
 
 import (
@@ -16,6 +20,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"slpdas/internal/channel"
 	"slpdas/internal/des"
 	"slpdas/internal/topo"
 	"slpdas/internal/xrand"
@@ -70,6 +75,20 @@ type Stats struct {
 	Deliveries     uint64 // frame receptions delivered to receivers
 	LossDrops      uint64 // receptions dropped by the loss model
 	CollisionDrops uint64 // receptions dropped by collisions
+	CaptureWins    uint64 // receptions delivered despite interference (SINR capture)
+	SINRDrops      uint64 // receptions dropped by the SINR capture test
+}
+
+// EnergyMeter is charged by the medium for radio activity: once per
+// transmitted frame at the sender, once per reception window at each
+// in-range receiver — whether or not the frame survives corruption, since
+// the radio pays for listening either way. A nil meter disables charging.
+// core.Network implements this to drive battery depletion.
+type EnergyMeter interface {
+	// ChargeTx bills node n for transmitting a payload of `bytes` bytes.
+	ChargeTx(n topo.NodeID, bytes int)
+	// ChargeRx bills node n for receiving a payload of `bytes` bytes.
+	ChargeRx(n topo.NodeID, bytes int)
 }
 
 // Medium is the shared broadcast channel. It is not safe for concurrent
@@ -77,8 +96,11 @@ type Stats struct {
 type Medium struct {
 	sim        *des.Simulator // lint:immutable: simulator wiring, fixed at construction
 	g          *topo.Graph    // lint:immutable: topology wiring, fixed at construction
-	loss       LossModel
+	ch         channel.Model
 	collisions bool
+	sinr       bool                  // capture model active (derived from ch)
+	capture    channel.CaptureParams // cached ch.Capture() parameters
+	meter      EnergyMeter
 	pcg        rand.PCG      // owned so Reset can reseed rng in place
 	rng        *rand.Rand    // lint:immutable: wraps &pcg; Reset reseeds the pcg in place
 	bitrate    int           // lint:immutable: PHY parameter, fixed at construction
@@ -100,9 +122,13 @@ type Medium struct {
 	// Collision window state, per receiving node: rxEnd is the end of the
 	// latest reception window, rxLatest the delivery owning it. rxLatest is
 	// only consulted while rxEnd > now, i.e. while that delivery is still
-	// in the air, so it can never reach back into the pool.
+	// in the air, so it can never reach back into the pool. Under SINR
+	// capture, rxSum accumulates the total received power of the open
+	// window and rxBest tracks the strongest single reception in it.
 	rxEnd    []time.Duration
 	rxLatest []*delivery
+	rxSum    []float64
+	rxBest   []float64
 
 	freeDeliveries []*delivery // lint:immutable: free list; pooled objects carry no cross-run state
 	freeScans      []*obsScan  // lint:immutable: free list; pooled objects carry no cross-run state
@@ -134,23 +160,36 @@ type delivery struct {
 	f         *frame
 	from, to  topo.NodeID
 	corrupted bool
+	power     float64 // received power in mW; set only under SINR capture
 }
 
 // Run implements des.Runner: the frame arrives at d.to. A reception only
 // counts if both endpoints are still up and the link is still intact at
 // the end of the reception window: a sender that died mid-frame stopped
 // keying the carrier, so the tail of its frame never arrives, and a
-// receiver that died mid-frame has no stack left to accept it.
+// receiver that died mid-frame has no stack left to accept it. The energy
+// meter is billed before the corruption verdict — the radio pays for
+// listening whether or not the frame survives — and a receiver whose
+// battery dies on that very charge pays but does not consume, hence the
+// second disabled check before the receiver callback.
 //
 //slp:hotpath
 func (d *delivery) Run() {
 	m := d.m
 	if !m.disabled[d.to] && !m.disabled[d.from] && !m.linkDown(d.from, d.to) {
-		if d.corrupted {
+		if m.meter != nil {
+			m.meter.ChargeRx(d.to, len(d.f.buf))
+		}
+		switch {
+		case d.corrupted:
 			m.stats.CollisionDrops++
-		} else if recv := m.receivers[d.to]; recv != nil {
-			m.stats.Deliveries++
-			recv(d.from, d.f.buf)
+		case m.sinr && !m.sinrClears(d):
+			m.stats.SINRDrops++
+		default:
+			if recv := m.receivers[d.to]; recv != nil && !m.disabled[d.to] {
+				m.stats.Deliveries++
+				recv(d.from, d.f.buf)
+			}
 		}
 	}
 	if m.rxLatest[d.to] == d {
@@ -159,6 +198,58 @@ func (d *delivery) Run() {
 	m.releaseFrame(d.f)
 	d.f = nil
 	m.freeDeliveries = append(m.freeDeliveries, d)
+}
+
+// sinrClears applies the capture test at the end of d's reception window:
+// the frame survives iff its received power beats threshold × (noise +
+// interference), where interference is every other reception summed into
+// the window at d.to. A win over non-zero interference is a capture.
+//
+//slp:hotpath
+func (m *Medium) sinrClears(d *delivery) bool {
+	interference := m.rxSum[d.to] - d.power
+	if interference < 0 {
+		interference = 0
+	}
+	if d.power < m.capture.ThresholdMW*(m.capture.NoiseMW+interference) {
+		return false
+	}
+	if interference > 0 {
+		m.stats.CaptureWins++
+	}
+	return true
+}
+
+// contend folds a new reception into the SINR window open at d.to. The
+// strongest reception in the window stays a candidate (its final verdict
+// is sinrClears at delivery, once the whole window's interference is
+// known); every weaker one is corrupted outright — it cannot beat a
+// stronger co-channel signal whatever else arrives.
+//
+//slp:hotpath
+func (m *Medium) contend(d *delivery, now, endAt time.Duration) {
+	to := d.to
+	if m.rxEnd[to] <= now {
+		// Fresh window: this reception opens it.
+		m.rxSum[to] = d.power
+		m.rxBest[to] = d.power
+		m.rxLatest[to] = d
+		m.rxEnd[to] = endAt
+		return
+	}
+	m.rxSum[to] += d.power
+	if d.power > m.rxBest[to] {
+		if cur := m.rxLatest[to]; cur != nil {
+			cur.corrupted = true
+		}
+		m.rxBest[to] = d.power
+		m.rxLatest[to] = d
+	} else {
+		d.corrupted = true
+	}
+	if endAt > m.rxEnd[to] {
+		m.rxEnd[to] = endAt
+	}
 }
 
 // obsScan is the pooled end-of-transmission eavesdropper scan: one per
@@ -200,9 +291,22 @@ func (s *obsScan) Run() {
 // Option configures the medium.
 type Option func(*Medium)
 
-// WithLossModel selects the channel loss model (default Ideal).
+// WithChannel selects the physical channel model (default channel.Ideal).
+func WithChannel(ch channel.Model) Option {
+	return func(r *Medium) { r.ch = ch }
+}
+
+// WithLossModel selects a legacy binary loss model, adapted onto the
+// channel interface (default Ideal). Kept for the pre-channel-registry
+// call sites; new code should use WithChannel.
 func WithLossModel(m LossModel) Option {
-	return func(r *Medium) { r.loss = m }
+	return func(r *Medium) { r.ch = FromLossModel(m) }
+}
+
+// WithEnergyMeter attaches the per-node energy meter charged for every
+// transmission and reception (default nil: charging off).
+func WithEnergyMeter(em EnergyMeter) Option {
+	return func(r *Medium) { r.meter = em }
 }
 
 // WithCollisions enables receiver-side collision corruption: two
@@ -223,7 +327,7 @@ func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium
 	m := &Medium{
 		sim:       sim,
 		g:         g,
-		loss:      Ideal{},
+		ch:        channel.Ideal{},
 		bitrate:   DefaultBitrate,
 		overhead:  DefaultFrameOverhead,
 		propDelay: DefaultPropagationDelay,
@@ -231,35 +335,46 @@ func New(sim *des.Simulator, g *topo.Graph, seed uint64, opts ...Option) *Medium
 		disabled:  make([]bool, g.Len()),
 		rxEnd:     make([]time.Duration, g.Len()),
 		rxLatest:  make([]*delivery, g.Len()),
+		rxSum:     make([]float64, g.Len()),
+		rxBest:    make([]float64, g.Len()),
 	}
 	m.pcg.Seed(xrand.SeedsNamed(seed, "radio"))
 	m.rng = xrand.Wrap(&m.pcg)
 	for _, o := range opts {
 		o(m)
 	}
+	m.capture, m.sinr = m.ch.Capture()
+	m.ch.Reset(seed)
 	return m
 }
 
 // Reset rewinds the medium for a fresh run on the same graph: the random
 // stream is reseeded in place, the channel model swapped for the new run's
-// configuration, and all per-run state — failed nodes, collision windows,
-// observers, counters — cleared. Registered receivers survive (they are
-// wiring, not run state), as do the event, frame and scan pools, which is
-// the point: a Reset medium broadcasts with warm pools from its first
-// frame. The owning simulator must be Reset alongside so in-flight
-// delivery events from the previous run are discarded. A nil loss model
-// selects Ideal, mirroring New's default.
-func (m *Medium) Reset(seed uint64, loss LossModel, collisions bool) {
-	if loss == nil {
-		loss = Ideal{}
+// configuration (and itself Reset to the new seed so per-link shadowing
+// redraws), and all per-run state — failed nodes, collision windows, SINR
+// accumulators, observers, counters — cleared. Registered receivers
+// survive (they are wiring, not run state), as do the event, frame and
+// scan pools, which is the point: a Reset medium broadcasts with warm
+// pools from its first frame. The owning simulator must be Reset
+// alongside so in-flight delivery events from the previous run are
+// discarded. A nil channel selects channel.Ideal, mirroring New's
+// default; a nil meter disables energy charging.
+func (m *Medium) Reset(seed uint64, ch channel.Model, collisions bool, meter EnergyMeter) {
+	if ch == nil {
+		ch = channel.Ideal{}
 	}
-	m.loss = loss
+	m.ch = ch
 	m.collisions = collisions
+	m.meter = meter
+	m.capture, m.sinr = ch.Capture()
+	ch.Reset(seed)
 	m.pcg.Seed(xrand.SeedsNamed(seed, "radio"))
 	for i := range m.disabled {
 		m.disabled[i] = false
 		m.rxEnd[i] = 0
 		m.rxLatest[i] = nil
+		m.rxSum[i] = 0
+		m.rxBest[i] = 0
 	}
 	clear(m.downLinks)
 	m.observers = m.observers[:0]
@@ -423,6 +538,14 @@ func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 	if m.disabled[from] {
 		return
 	}
+	if m.meter != nil {
+		m.meter.ChargeTx(from, len(payload))
+		if m.disabled[from] {
+			// The battery died keying up this very frame: the carrier
+			// never formed, so nothing is transmitted or observed.
+			return
+		}
+	}
 	m.stats.Broadcasts++
 	m.stats.BytesSent += uint64(len(payload))
 
@@ -438,12 +561,16 @@ func (m *Medium) Broadcast(from topo.NodeID, payload []byte) {
 		if m.disabled[to] || m.linkDown(from, to) {
 			continue
 		}
-		if m.loss.Lost(senderPos.DistanceTo(m.g.Position(to)), m.rng) {
+		dist := senderPos.DistanceTo(m.g.Position(to))
+		if m.ch.Lost(from, to, dist, m.rng) {
 			m.stats.LossDrops++
 			continue
 		}
 		d := m.getDelivery(f, from, to)
-		if m.collisions {
+		if m.sinr {
+			d.power = m.ch.RxPowerMW(from, to, dist)
+			m.contend(d, now, endAt)
+		} else if m.collisions {
 			if m.rxEnd[to] > now {
 				// Overlaps the reception window still open at `to`. Every
 				// reception in the air here is pairwise-overlapping with

@@ -597,7 +597,7 @@ func TestMediumResetClearsRunState(t *testing.T) {
 	}
 
 	sim.Reset()
-	m.Reset(1, nil, true)
+	m.Reset(1, nil, true, nil)
 	if m.NodeDisabled(2) {
 		t.Errorf("DisableNode survived Reset")
 	}

@@ -56,14 +56,21 @@ type SimConfig struct {
 	Attackers int
 	// SharedHistory pools one H-window across the team.
 	SharedHistory bool
-	// LossModel: "ideal" (default), "bernoulli:<p>" or "rssi".
+	// LossModel is the channel spec: "ideal" (default), "bernoulli:<p>",
+	// "rssi" or "logdist:<n>:<sigma>[@sinr:<threshold>]" — log-distance
+	// path loss with per-link shadowing, optionally with SINR capture
+	// replacing the binary collision window.
 	LossModel string
 	// Collisions enables receiver-side collision corruption.
 	Collisions bool
 	// Faults is the deterministic fault-injection spec: "none" (default),
 	// "crash:<rate>", "churn:<rate>:<mttr>", "link:<rate>" or
 	// "blackout:<r>@<p>". The plan is a pure function of (spec, seed).
-	Faults  string
+	Faults string
+	// Energy is the per-node energy model: "none" (default) or
+	// "battery:<capacity>[:<tx>:<rx>:<idle>]" in mJ — nodes that exhaust
+	// their budget crash-stop permanently.
+	Energy  string
 	Workers int // parallel runs; default GOMAXPROCS
 }
 
@@ -100,7 +107,7 @@ func (c SimConfig) coreConfig() (core.Config, error) {
 			Count:         c.Attackers,
 			SharedHistory: c.SharedHistory,
 		},
-		c.LossModel, c.Collisions, c.Faults)
+		c.LossModel, c.Collisions, c.Faults, c.Energy)
 }
 
 // ProtocolInfo describes one registered routing family.
